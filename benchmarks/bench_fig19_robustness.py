@@ -1,0 +1,53 @@
+"""Fig. 19: erroneous links (occlusion) and link/node removal."""
+
+import numpy as np
+
+from repro.experiments.fig19_robustness import (
+    format_occlusion,
+    format_removal,
+    run_occlusion_study,
+    run_removal_study,
+)
+
+
+def test_fig19a_occlusion(benchmark, rng, report):
+    result = run_occlusion_study(rng, num_layouts=8, rounds_per_layout=5)
+    report(format_occlusion(result))
+    benchmark.extra_info["median_with"] = result.with_detection.median
+    benchmark.extra_info["median_without"] = result.without_detection.median
+
+    # Paper: outlier detection trims the 90-100th percentile tail.
+    assert result.tail_with.max() <= result.tail_without.max() + 0.5
+    assert result.with_detection.p95 <= result.without_detection.p95 + 0.5
+    # Algorithm 1 actually fires under occlusion.
+    assert result.detection_drop_rate > 0.2
+
+    benchmark.pedantic(
+        lambda: run_occlusion_study(
+            np.random.default_rng(13), num_layouts=1, rounds_per_layout=2
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig19b_removal(benchmark, rng, report):
+    result = run_removal_study(rng, num_layouts=8, rounds_per_layout=5)
+    report(format_removal(result))
+    benchmark.extra_info["median_full"] = result.fully_connected.median
+    benchmark.extra_info["median_link_drop"] = result.link_dropped.median
+    benchmark.extra_info["median_node_drop"] = result.node_dropped.median
+
+    # Paper: medians stay comparable (0.9 vs 1.0 vs 0.8 m) while the
+    # link-dropped tail grows (3.2 -> 6.2 m p95).
+    assert abs(result.link_dropped.median - result.fully_connected.median) < 1.0
+    assert abs(result.node_dropped.median - result.fully_connected.median) < 1.0
+    assert result.link_dropped.p95 >= result.fully_connected.p95 - 0.5
+
+    benchmark.pedantic(
+        lambda: run_removal_study(
+            np.random.default_rng(14), num_layouts=1, rounds_per_layout=2
+        ),
+        rounds=3,
+        iterations=1,
+    )

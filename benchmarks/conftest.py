@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper:
+it runs the experiment once (printing a paper-vs-measured comparison
+to the terminal), records the headline numbers in the benchmark's
+``extra_info``, and times a representative unit of work with
+pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic per-test randomness for reproducible benches."""
+    return np.random.default_rng(2023)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print experiment output even under pytest's capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report

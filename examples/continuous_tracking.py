@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Continuous tracking: Kalman fusion over sparse localization rounds.
+
+The paper's system is user-initiated (one round, one snapshot) to limit
+acoustic signalling; its section 5 proposes fusing rounds with other
+sensors for continuous tracking. This example runs that extension: the
+leader localizes every 4 s while diver 2 swims a back-and-forth line,
+and a per-diver Kalman filter turns the sparse fixes into a smooth,
+always-queryable track — including positions *between* rounds.
+
+Usage::
+
+    python examples/continuous_tracking.py [rounds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.simulate import (
+    LinearBackForthTrajectory,
+    NetworkSimulator,
+    testbed_scenario,
+)
+from repro.tracking import GroupTracker
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    rng = np.random.default_rng(9)
+    scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+    mover = 2
+    trajectory = LinearBackForthTrajectory(
+        center=scenario.devices[mover].position.copy(),
+        direction=np.array([1.0, 0.0, 0.0]),
+        amplitude_m=2.5,
+        speed_mps=0.35,
+    )
+    tracker = GroupTracker(num_devices=5)
+    period = 4.0
+
+    print(f"Diver {mover} swims +-2.5 m at 35 cm/s; rounds every {period:.0f} s\n")
+    print(f"{'t':>5} | {'truth':>7} | {'raw fix':>7} | {'fused':>7} | "
+          f"{'mid-gap pred':>12} | unc")
+    print("-" * 64)
+
+    raw_errs, fused_errs = [], []
+    for k in range(rounds):
+        t = k * period
+        scenario.devices[mover].position = trajectory.position(t)
+        sim = NetworkSimulator(scenario, rng=rng)
+        try:
+            outcome = sim.run_round()
+        except Exception:
+            continue
+        tracker.ingest_round(t, outcome)
+        truth_now = outcome.true_positions_leader_frame[mover, :2]
+        raw = outcome.result.positions2d[mover]
+        est = tracker.estimate(mover)
+        raw_err = np.linalg.norm(raw - truth_now)
+        fused_err = np.linalg.norm(est.position_xy - truth_now)
+        raw_errs.append(raw_err)
+        if k >= 3:
+            fused_errs.append(fused_err)
+
+        # Query the track halfway to the next round (no acoustics!).
+        mid_t = t + period / 2.0
+        mid_pred = tracker.estimate(mover, time_s=mid_t).position_xy
+        truth_mid = (trajectory.position(mid_t) - scenario.devices[0].position)[:2]
+        mid_err = np.linalg.norm(mid_pred - truth_mid)
+        print(
+            f"{t:5.0f} | {truth_now[0]:7.2f} | {raw_err:6.2f}m | {fused_err:6.2f}m "
+            f"| {mid_err:10.2f}m | {est.uncertainty_m:.2f}m"
+        )
+
+    print("-" * 64)
+    print(f"raw-fix median error   : {np.median(raw_errs):.2f} m")
+    if fused_errs:
+        print(f"fused track median err : {np.median(fused_errs):.2f} m "
+              "(after 3-round burn-in)")
+    print("\nThe fused track answers position queries at any time without "
+          "extra acoustic\nsignalling — the section-5 design goal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Dive-group session: repeated localization with a moving diver.
+
+Simulates a realistic use session: a 5-diver group at the boathouse,
+the leader re-running the localization protocol every few seconds while
+diver 2 swims back and forth (15-50 cm/s, as in the paper's mobility
+study, Fig. 20). Prints a per-round track of the moving diver.
+
+Usage::
+
+    python examples/dive_group_tracking.py [rounds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.simulate import (
+    LinearBackForthTrajectory,
+    NetworkSimulator,
+    testbed_scenario,
+)
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    rng = np.random.default_rng(21)
+
+    scenario = testbed_scenario("boathouse", num_devices=5, rng=rng)
+    mover = 2
+    trajectory = LinearBackForthTrajectory(
+        center=scenario.devices[mover].position.copy(),
+        direction=np.array([1.0, 0.0, 0.0]),
+        amplitude_m=2.0,
+        speed_mps=0.35,
+    )
+
+    round_period_s = 4.0  # protocol round (~1.9 s) + uplink + idle
+    print(f"Tracking diver {mover} at the {scenario.environment.name}; "
+          f"one localization round every {round_period_s:.0f} s\n")
+    print(f"{'t':>5} | {'true x':>7} {'true y':>7} | {'est x':>7} {'est y':>7} "
+          f"| {'err':>5} | group median")
+    print("-" * 66)
+
+    errors_all = []
+    for k in range(rounds):
+        t = k * round_period_s
+        scenario.devices[mover].position = trajectory.position(t)
+        sim = NetworkSimulator(scenario, rng=rng)
+        try:
+            outcome = sim.run_round()
+        except Exception:
+            print(f"{t:5.0f} | round failed (disconnected); leader re-runs")
+            continue
+        truth = outcome.true_positions_leader_frame[mover, :2]
+        est = outcome.result.positions2d[mover]
+        err = float(np.linalg.norm(est - truth))
+        group_median = float(np.median(outcome.errors_2d[1:]))
+        errors_all.append(err)
+        print(
+            f"{t:5.0f} | {truth[0]:7.2f} {truth[1]:7.2f} "
+            f"| {est[0]:7.2f} {est[1]:7.2f} | {err:5.2f} | {group_median:5.2f}"
+        )
+
+    if errors_all:
+        print("-" * 66)
+        print(f"moving diver median error: {np.median(errors_all):.2f} m "
+              "(paper: ~0.8 m for a moving user 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Occlusion recovery: Algorithm 1 rescuing an occluded link.
+
+Reproduces the paper's Fig. 19a setting: a solid sheet blocks the
+direct path between the leader and diver 1. The devices still hear
+each other through reflections, so the measured distance is a *long*
+outlier — not a missing link — and would warp the whole topology. The
+iterative outlier detector notices the inflated SMACOF stress, drops
+the poisoned link, and re-solves.
+
+Usage::
+
+    python examples/occlusion_recovery.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.simulate import NetworkSimulator, testbed_scenario
+
+
+def run_once(occluded: bool, detection: bool, seed: int):
+    """One localization round; returns (median error, dropped links)."""
+    rng = np.random.default_rng(seed)
+    scenario = testbed_scenario(
+        "dock",
+        num_devices=5,
+        rng=rng,
+        occluded_links=[(0, 1)] if occluded else None,
+    )
+    sim = NetworkSimulator(
+        scenario,
+        rng=rng,
+        stress_threshold=None if detection else np.inf,
+    )
+    results = sim.run_many(6)
+    errors = np.concatenate([r.errors_2d[1:] for r in results])
+    dropped = [r.result.dropped_links for r in results if r.result.dropped_links]
+    return float(np.median(errors)), float(np.percentile(errors, 95)), dropped
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 11
+    print("Fig. 19a scenario: leader <-> diver-1 direct path blocked\n")
+
+    med, p95, _ = run_once(occluded=False, detection=True, seed=seed)
+    print(f"clean network                : median {med:.2f} m, p95 {p95:.2f} m")
+
+    med, p95, dropped = run_once(occluded=True, detection=False, seed=seed)
+    print(f"occluded, detection OFF      : median {med:.2f} m, p95 {p95:.2f} m")
+
+    med, p95, dropped = run_once(occluded=True, detection=True, seed=seed)
+    print(f"occluded, detection ON       : median {med:.2f} m, p95 {p95:.2f} m")
+    if dropped:
+        flat = sorted({link for round_links in dropped for link in round_links})
+        print(f"links dropped by Algorithm 1 : {flat}")
+        print("(the occluded link (0, 1) should be among them)")
+    print("\nPaper: with outlier detection the occluded network achieves "
+          "median 1.4 m / p95 3.4 m;\nwithout it the error has a long tail "
+          "(Fig. 19a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so the
+PEP 517 editable-install path (bdist_wheel) is unavailable; `pip install -e .
+--no-use-pep517` uses this file instead. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""Underwater noise models: ambient band noise and impulsive spikes.
+
+The paper calls out two noise behaviours that shape its detector design:
+broadband ambient noise from wind/boats/aquatic life, and "spiky" noise
+(e.g. bubbles) whose short high-amplitude transients defeat plain
+cross-correlation thresholds (section 2.2.1). Ambient noise is modelled
+as band-limited Gaussian noise; spikes as Poisson-arriving exponentially
+damped band-limited bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Parameters of the site noise.
+
+    Attributes
+    ----------
+    ambient_rms:
+        RMS amplitude of the band-limited ambient noise.
+    spike_rate_hz:
+        Mean number of impulsive events per second.
+    spike_amplitude:
+        Peak amplitude of a typical spike (relative to ambient_rms it
+        sets how hostile the site is to correlation detectors).
+    spike_duration_s:
+        Exponential decay time constant of each spike.
+    """
+
+    ambient_rms: float = 0.005
+    spike_rate_hz: float = 0.5
+    spike_amplitude: float = 0.2
+    spike_duration_s: float = 0.004
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        """A copy with all amplitudes multiplied by ``factor``."""
+        return NoiseModel(
+            ambient_rms=self.ambient_rms * factor,
+            spike_rate_hz=self.spike_rate_hz,
+            spike_amplitude=self.spike_amplitude * factor,
+            spike_duration_s=self.spike_duration_s,
+        )
+
+
+def _bandpass(x: np.ndarray, sample_rate: float) -> np.ndarray:
+    """Constrain noise to the audible underwater band used by the system."""
+    nyq = sample_rate / 2
+    low = max(BAND_LOW_HZ * 0.5, 10.0) / nyq
+    high = min(BAND_HIGH_HZ * 1.5, nyq * 0.95) / nyq
+    sos = sp_signal.butter(4, [low, high], btype="bandpass", output="sos")
+    return sp_signal.sosfilt(sos, x)
+
+
+def ambient_noise(
+    num_samples: int,
+    model: NoiseModel,
+    rng: np.random.Generator,
+    sample_rate: float = SAMPLE_RATE,
+) -> np.ndarray:
+    """Band-limited Gaussian ambient noise with the model's RMS."""
+    if num_samples <= 0:
+        return np.zeros(0)
+    white = rng.standard_normal(num_samples)
+    shaped = _bandpass(white, sample_rate)
+    rms = np.sqrt(np.mean(shaped**2))
+    if rms > 0:
+        shaped = shaped * (model.ambient_rms / rms)
+    return shaped
+
+
+def spiky_noise(
+    num_samples: int,
+    model: NoiseModel,
+    rng: np.random.Generator,
+    sample_rate: float = SAMPLE_RATE,
+) -> np.ndarray:
+    """Poisson-arriving impulsive bursts (bubbles, clanks, snapping)."""
+    out = np.zeros(num_samples)
+    if num_samples <= 0 or model.spike_rate_hz <= 0 or model.spike_amplitude <= 0:
+        return out
+    duration_s = num_samples / sample_rate
+    count = rng.poisson(model.spike_rate_hz * duration_s)
+    spike_len = max(int(model.spike_duration_s * sample_rate * 5), 8)
+    t = np.arange(spike_len) / sample_rate
+    for _ in range(count):
+        start = int(rng.integers(0, max(num_samples - spike_len, 1)))
+        freq = rng.uniform(BAND_LOW_HZ, BAND_HIGH_HZ)
+        amp = model.spike_amplitude * rng.uniform(0.3, 1.5)
+        burst = amp * np.exp(-t / model.spike_duration_s) * np.sin(
+            2 * np.pi * freq * t + rng.uniform(0, 2 * np.pi)
+        )
+        end = min(start + spike_len, num_samples)
+        out[start:end] += burst[: end - start]
+    return out
+
+
+def make_noise(
+    num_samples: int,
+    model: NoiseModel,
+    rng: np.random.Generator,
+    sample_rate: float = SAMPLE_RATE,
+) -> np.ndarray:
+    """Ambient plus spiky noise for one microphone stream."""
+    return ambient_noise(num_samples, model, rng, sample_rate) + spiky_noise(
+        num_samples, model, rng, sample_rate
+    )

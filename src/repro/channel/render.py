@@ -1,0 +1,130 @@
+"""Render multipath taps to sample-domain impulse responses / waveforms.
+
+Taps live in continuous time; microphone streams are sampled at 44.1 kHz.
+Fractional tap delays are rendered by linear interpolation between the
+two neighbouring samples, which keeps sub-sample timing information (the
+paper's uplink reports timestamps at 2-sample resolution, so this is
+more than accurate enough).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.channel.multipath import PathTap
+
+
+def render_taps(
+    taps: Sequence[PathTap],
+    sample_rate: float,
+    length: int | None = None,
+    reference_delay_s: float = 0.0,
+) -> np.ndarray:
+    """Sample-domain FIR for the tap list.
+
+    Parameters
+    ----------
+    taps:
+        Multipath arrivals.
+    sample_rate:
+        Target sampling rate (Hz).
+    length:
+        FIR length in samples; defaults to just covering the last tap.
+    reference_delay_s:
+        Subtracted from every tap delay, e.g. the direct-path delay to
+        obtain a channel aligned at tap zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        Real FIR; energy at fractional delays is split linearly between
+        neighbouring samples.
+    """
+    if not taps:
+        raise ValueError("taps must be non-empty")
+    delays = np.array([t.delay_s - reference_delay_s for t in taps])
+    if np.any(delays < 0):
+        raise ValueError("reference_delay_s puts a tap at negative delay")
+    amps = np.array([t.amplitude for t in taps])
+    positions = delays * sample_rate
+    needed = int(np.ceil(positions.max())) + 2
+    n = needed if length is None else int(length)
+    fir = np.zeros(n)
+    for pos, amp in zip(positions, amps):
+        base = int(np.floor(pos))
+        frac = pos - base
+        if base + 1 >= n:
+            continue
+        fir[base] += amp * (1.0 - frac)
+        fir[base + 1] += amp * frac
+    return fir
+
+
+def apply_channel(
+    waveform: np.ndarray,
+    taps: Sequence[PathTap],
+    sample_rate: float,
+    output_length: int | None = None,
+) -> np.ndarray:
+    """Propagate ``waveform`` through the multipath channel.
+
+    The output is placed on an absolute time axis starting at the moment
+    of transmission: a tap with delay ``d`` contributes a copy of the
+    waveform starting at sample ``d * sample_rate``.
+    """
+    wave = np.asarray(waveform, dtype=float)
+    if not taps:
+        raise ValueError("taps must be non-empty")
+    max_delay = max(t.delay_s for t in taps)
+    default_len = wave.size + int(np.ceil(max_delay * sample_rate)) + 2
+    n = default_len if output_length is None else int(output_length)
+    fir = render_taps(taps, sample_rate, length=min(n, default_len))
+    out = sp_signal.fftconvolve(wave, fir, mode="full")[:n]
+    if out.size < n:
+        out = np.pad(out, (0, n - out.size))
+    return out
+
+
+def directivity_gain(
+    device_azimuth_rad: float,
+    device_polar_rad: float,
+    direction_azimuth_rad: float,
+    direction_polar_rad: float,
+    backlobe_gain: float = 0.25,
+    exponent: float = 1.0,
+) -> float:
+    """Speaker/microphone directivity factor for an off-axis peer.
+
+    The phone's speaker and microphones face along the device axis; the
+    paper's orientation experiment (Fig. 14a) shows a modest error
+    increase when the devices do not face each other. We model the
+    element as a cardioid-like pattern with a back-lobe floor::
+
+        g = backlobe + (1 - backlobe) * ((1 + cos(angle)) / 2) ** exponent
+
+    where ``angle`` is the angle between the device axis and the
+    direction towards the peer.
+
+    All angles in radians; azimuth in the horizontal plane, polar from
+    the vertical (device pointing "sideways" has polar ~ pi/2).
+    """
+    if not 0.0 <= backlobe_gain <= 1.0:
+        raise ValueError("backlobe_gain must be in [0, 1]")
+
+    def unit(azimuth: float, polar: float) -> np.ndarray:
+        return np.array(
+            [
+                np.sin(polar) * np.cos(azimuth),
+                np.sin(polar) * np.sin(azimuth),
+                np.cos(polar),
+            ]
+        )
+
+    axis = unit(device_azimuth_rad, device_polar_rad)
+    towards = unit(direction_azimuth_rad, direction_polar_rad)
+    cos_angle = float(np.clip(np.dot(axis, towards), -1.0, 1.0))
+    main = ((1.0 + cos_angle) / 2.0) ** exponent
+    return backlobe_gain + (1.0 - backlobe_gain) * main

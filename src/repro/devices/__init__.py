@@ -1,0 +1,37 @@
+"""Smart-device models: clocks, audio buffers, sensors, geometry."""
+
+from repro.devices.clock import DeviceClock
+from repro.devices.audio_io import AudioStreams, CalibrationResult
+from repro.devices.sensors import (
+    DepthSensor,
+    PressureDepthSensor,
+    smartwatch_depth_gauge,
+    phone_pressure_sensor,
+)
+from repro.devices.models import (
+    DeviceModel,
+    SAMSUNG_S9,
+    GOOGLE_PIXEL,
+    ONEPLUS,
+    APPLE_WATCH_ULTRA,
+    DEVICE_MODELS,
+)
+from repro.devices.device import Device, make_device
+
+__all__ = [
+    "DeviceClock",
+    "AudioStreams",
+    "CalibrationResult",
+    "DepthSensor",
+    "PressureDepthSensor",
+    "smartwatch_depth_gauge",
+    "phone_pressure_sensor",
+    "DeviceModel",
+    "SAMSUNG_S9",
+    "GOOGLE_PIXEL",
+    "ONEPLUS",
+    "APPLE_WATCH_ULTRA",
+    "DEVICE_MODELS",
+    "Device",
+    "make_device",
+]

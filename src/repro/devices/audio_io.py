@@ -1,0 +1,184 @@
+"""Low-level audio timing: unsynchronised mic/speaker buffer model.
+
+Implements the paper's Appendix. The OS fills the microphone and speaker
+buffers independently; their sample indices map to absolute time through
+two *different* affine relations::
+
+    t_s(n) = n / f_s^s + t0_s        (speaker)
+    t_m(m) = m / f_s^m + t0_m        (microphone)
+
+with per-stream actual sampling rates ``f_s^s = fs / (1 - alpha)`` and
+``f_s^m = fs / (1 - beta)`` that deviate from the nominal ``fs`` by ppm
+amounts, and unknown stream-start offsets ``t0_s``, ``t0_m`` that change
+every time the streams are (re)opened.
+
+A device that must reply exactly ``t_reply`` after an arrival at mic
+index ``m2`` therefore self-calibrates once at stream open: it plays a
+calibration signal written at speaker index ``n1``, detects it at mic
+index ``m1``, and thereafter schedules replies at::
+
+    n2 = m2 + (n1 - m1) + fs * t_reply
+
+The residual timing error follows Eq. 6 of the paper::
+
+    t_reply - t_reply_desired = -alpha * t_reply_desired
+                                + (m2 - m1) * (beta - alpha) / fs
+
+which this module computes exactly so tests can verify the model against
+the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import SAMPLE_RATE
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Result of the speaker-to-own-microphone calibration.
+
+    Attributes
+    ----------
+    speaker_index:
+        Index ``n1`` where the calibration signal was written.
+    mic_index:
+        Index ``m1`` where it was detected (float: sub-sample detection).
+    """
+
+    speaker_index: int
+    mic_index: float
+
+    @property
+    def offset(self) -> float:
+        """The buffer offset ``n1 - m1`` used to schedule replies."""
+        return self.speaker_index - self.mic_index
+
+
+@dataclass(frozen=True)
+class AudioStreams:
+    """The pair of unsynchronised audio streams on one device.
+
+    Attributes
+    ----------
+    nominal_rate:
+        The sampling rate both streams are *supposed* to run at (Hz).
+    alpha_ppm:
+        Speaker rate error: actual speaker rate is
+        ``nominal / (1 - alpha)``, ``alpha = alpha_ppm * 1e-6``.
+    beta_ppm:
+        Microphone rate error, defined the same way.
+    speaker_start_s:
+        Global time when speaker sample 0 is played (``t0_s``).
+    mic_start_s:
+        Global time when mic sample 0 is captured (``t0_m``).
+    self_delay_s:
+        Acoustic delay ``delta_2`` from the device's speaker to its own
+        microphone (through the case / water gap).
+    """
+
+    nominal_rate: float = SAMPLE_RATE
+    alpha_ppm: float = 0.0
+    beta_ppm: float = 0.0
+    speaker_start_s: float = 0.0
+    mic_start_s: float = 0.0
+    self_delay_s: float = 0.0005
+
+    @property
+    def speaker_rate(self) -> float:
+        """Actual speaker sampling rate ``f_s^s`` (Hz)."""
+        return self.nominal_rate / (1.0 - self.alpha_ppm * 1e-6)
+
+    @property
+    def mic_rate(self) -> float:
+        """Actual microphone sampling rate ``f_s^m`` (Hz)."""
+        return self.nominal_rate / (1.0 - self.beta_ppm * 1e-6)
+
+    # ------------------------------------------------------------------
+    # Index <-> time maps
+    # ------------------------------------------------------------------
+
+    def speaker_time(self, index: float) -> float:
+        """Global time when speaker sample ``index`` is emitted."""
+        return index / self.speaker_rate + self.speaker_start_s
+
+    def mic_time(self, index: float) -> float:
+        """Global time when mic sample ``index`` is captured."""
+        return index / self.mic_rate + self.mic_start_s
+
+    def mic_index(self, global_time_s: float) -> float:
+        """(Fractional) mic buffer index capturing ``global_time_s``."""
+        return (global_time_s - self.mic_start_s) * self.mic_rate
+
+    def speaker_index(self, global_time_s: float) -> float:
+        """(Fractional) speaker index playing at ``global_time_s``."""
+        return (global_time_s - self.speaker_start_s) * self.speaker_rate
+
+    # ------------------------------------------------------------------
+    # Self-calibration and reply scheduling (Appendix Eqs. 3-6)
+    # ------------------------------------------------------------------
+
+    def calibrate(self, speaker_index: int = 0) -> CalibrationResult:
+        """Play a calibration signal and detect it on the own microphone.
+
+        Returns the buffer index pair ``(n1, m1)`` whose difference
+        compensates the unknown stream-start offsets.
+        """
+        emit_time = self.speaker_time(speaker_index)
+        arrival_time = emit_time + self.self_delay_s
+        mic_idx = self.mic_index(arrival_time)
+        return CalibrationResult(speaker_index=speaker_index, mic_index=mic_idx)
+
+    def schedule_reply(
+        self,
+        arrival_mic_index: float,
+        desired_reply_s: float,
+        calibration: CalibrationResult,
+    ) -> float:
+        """Speaker index ``n2`` for a reply ``desired_reply_s`` after arrival.
+
+        Implements Eq. 4: ``n2 = m2 + (n1 - m1) + fs * t_reply``.
+        """
+        if desired_reply_s < 0:
+            raise ValueError("desired_reply_s must be non-negative")
+        return arrival_mic_index + calibration.offset + self.nominal_rate * desired_reply_s
+
+    def actual_reply_interval(self, reply_speaker_index: float, arrival_mic_index: float) -> float:
+        """True interval between arrival and the reply reaching the own mic.
+
+        This is ``t_reply = t4 + delta2 - t3`` from the Appendix: the gap
+        between the moment the peer's signal hit the microphone and the
+        moment the device's own reply hits its own microphone.
+        """
+        reply_at_mic = self.speaker_time(reply_speaker_index) + self.self_delay_s
+        arrival = self.mic_time(arrival_mic_index)
+        return reply_at_mic - arrival
+
+    def reply_timing_error(
+        self,
+        arrival_mic_index: float,
+        desired_reply_s: float,
+        calibration: CalibrationResult,
+    ) -> float:
+        """Exact reply-interval error for a scheduled reply (Eq. 6 check)."""
+        n2 = self.schedule_reply(arrival_mic_index, desired_reply_s, calibration)
+        actual = self.actual_reply_interval(n2, arrival_mic_index)
+        return actual - desired_reply_s
+
+    def predicted_reply_error(
+        self,
+        arrival_mic_index: float,
+        desired_reply_s: float,
+        calibration: CalibrationResult,
+    ) -> float:
+        """Closed-form Eq. 6 prediction of the reply-interval error::
+
+            -alpha * t_reply + (m2 - m1)(beta - alpha) / fs
+        """
+        alpha = self.alpha_ppm * 1e-6
+        beta = self.beta_ppm * 1e-6
+        return (
+            -alpha * desired_reply_s
+            + (arrival_mic_index - calibration.mic_index) * (beta - alpha) / self.nominal_rate
+        )

@@ -1,0 +1,53 @@
+"""Per-device local clocks with skew and offset.
+
+No global clock exists underwater; each device timestamps events with
+its own oscillator. We model a local clock as an affine map of global
+(simulation) time: ``local = (global - epoch) * (1 + skew_ppm * 1e-6)``.
+Android audio clocks drift on the order of 1-80 ppm (paper appendix,
+citing Guggenberger et al.), i.e. tens of microseconds per second — tiny
+relative to per-round timing, which is exactly why the paper's two-way
+differences can ignore offsets but the protocol must still reason about
+slot boundaries conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceClock:
+    """An affine local clock.
+
+    Attributes
+    ----------
+    skew_ppm:
+        Rate error relative to true time in parts per million.
+    epoch_s:
+        Global time at which this clock read zero (models the arbitrary
+        boot time of the device).
+    """
+
+    skew_ppm: float = 0.0
+    epoch_s: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Local seconds elapsed per true second."""
+        return 1.0 + self.skew_ppm * 1e-6
+
+    def local_time(self, global_time_s: float) -> float:
+        """Local clock reading at global time ``global_time_s``."""
+        return (global_time_s - self.epoch_s) * self.rate
+
+    def global_time(self, local_time_s: float) -> float:
+        """Invert :meth:`local_time`."""
+        return local_time_s / self.rate + self.epoch_s
+
+    def local_interval(self, global_interval_s: float) -> float:
+        """Duration measured by this clock over a true duration."""
+        return global_interval_s * self.rate
+
+    def global_interval(self, local_interval_s: float) -> float:
+        """True duration corresponding to a locally measured duration."""
+        return local_interval_s / self.rate

@@ -1,0 +1,116 @@
+"""Phone / watch hardware presets.
+
+The paper evaluates Samsung Galaxy S9, Google Pixel and OnePlus phones
+(Fig. 14b) and the Apple Watch Ultra. Models differ in speaker source
+level, microphone noise floors (each mic can have its own hardware noise
+profile — one of the motivations for the dual-mic direct path search),
+clock quality, and the severity of the waterproof-case multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.constants import MIC_SEPARATION_M
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Acoustic hardware profile of a smart device.
+
+    Attributes
+    ----------
+    name:
+        Model name.
+    source_level:
+        Relative speaker output amplitude (1.0 = reference S9 at max
+        volume).
+    mic_noise_rms:
+        Per-microphone self-noise RMS, one entry per microphone.
+    mic_separation_m:
+        Distance between the two ranging microphones.
+    clock_skew_ppm_range:
+        (low, high) range from which per-device audio clock skews are
+        drawn.
+    case_multipath_amp:
+        Amplitude of the near-instant extra reflections created by the
+        waterproof case, relative to each arriving tap.
+    case_multipath_delay_s:
+        Delay of the case reflection after each arrival.
+    battery_mah:
+        Battery capacity, used by the battery-life table.
+    acoustic_power_w:
+        Average electrical power while transmitting the preamble at max
+        volume.
+    idle_power_w:
+        Baseline power of the always-on pipeline (screen off, mic on).
+    """
+
+    name: str
+    source_level: float = 1.0
+    mic_noise_rms: Tuple[float, float] = (0.002, 0.003)
+    mic_separation_m: float = MIC_SEPARATION_M
+    clock_skew_ppm_range: Tuple[float, float] = (1.0, 80.0)
+    case_multipath_amp: float = 0.35
+    case_multipath_delay_s: float = 0.00035
+    battery_mah: float = 3_000.0
+    acoustic_power_w: float = 1.2
+    idle_power_w: float = 0.55
+
+    def __post_init__(self):
+        if len(self.mic_noise_rms) != 2:
+            raise ValueError("mic_noise_rms needs one value per microphone")
+        if self.mic_separation_m <= 0:
+            raise ValueError("mic_separation_m must be positive")
+
+
+#: Samsung Galaxy S9: the paper's workhorse device (88 dB SPL @ 1 m in
+#: air). The idle power reflects the paper's measurement condition — the
+#: app running with the audio pipeline and screen active.
+SAMSUNG_S9 = DeviceModel(
+    name="samsung_s9",
+    source_level=1.0,
+    mic_noise_rms=(0.002, 0.003),
+    battery_mah=3_000.0,
+    acoustic_power_w=1.25,
+    idle_power_w=1.35,
+)
+
+#: Google Pixel: slightly quieter speaker, quieter top mic.
+GOOGLE_PIXEL = DeviceModel(
+    name="google_pixel",
+    source_level=0.85,
+    mic_noise_rms=(0.0025, 0.002),
+    battery_mah=2_770.0,
+    acoustic_power_w=1.1,
+    idle_power_w=0.50,
+)
+
+#: OnePlus: louder speaker, noisier microphones.
+ONEPLUS = DeviceModel(
+    name="oneplus",
+    source_level=1.1,
+    mic_noise_rms=(0.003, 0.004),
+    battery_mah=3_300.0,
+    acoustic_power_w=1.3,
+    idle_power_w=0.55,
+)
+
+#: Apple Watch Ultra: small speaker (85 dB SPL siren), three-mic array
+#: (we use two of them for ranging), small battery — drains fastest.
+APPLE_WATCH_ULTRA = DeviceModel(
+    name="apple_watch_ultra",
+    source_level=0.7,
+    mic_noise_rms=(0.0025, 0.0025),
+    mic_separation_m=0.04,
+    battery_mah=542.0,
+    acoustic_power_w=0.30,
+    idle_power_w=0.12,
+)
+
+#: All presets keyed by name.
+DEVICE_MODELS = {
+    model.name: model
+    for model in (SAMSUNG_S9, GOOGLE_PIXEL, ONEPLUS, APPLE_WATCH_ULTRA)
+}

@@ -1,0 +1,120 @@
+"""Depth sensors: smartwatch depth gauge and phone pressure sensor.
+
+Paper section 3.1 ("Depth accuracy"): across 0-9 m, the Apple Watch
+Ultra depth gauge averaged 0.15 +/- 0.11 m error and the Samsung S9
+pressure sensor (inside a waterproof pouch) 0.42 +/- 0.18 m. We model a
+depth sensor as a pressure transducer with additive bias and Gaussian
+noise in the pressure domain, converted to depth with the hydrostatic
+relation; the pouch's trapped air adds a depth-proportional error for
+the phone. Parameters are chosen to land on the paper's error figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.depth import depth_to_pressure, pressure_to_depth
+
+
+@dataclass(frozen=True)
+class DepthSensor:
+    """Generic additive-noise depth sensor (depth domain).
+
+    Attributes
+    ----------
+    name:
+        Sensor label for reports.
+    bias_m:
+        Systematic offset of the reading.
+    noise_std_m:
+        Standard deviation of per-reading Gaussian noise.
+    scale_error:
+        Multiplicative error (e.g. wrong assumed water density or pouch
+        compression): reading ~ depth * (1 + scale_error).
+    resolution_m:
+        Output quantisation step (0 disables quantisation).
+    """
+
+    name: str
+    bias_m: float = 0.0
+    noise_std_m: float = 0.05
+    scale_error: float = 0.0
+    resolution_m: float = 0.0
+
+    def measure(self, true_depth_m: float, rng: np.random.Generator) -> float:
+        """One noisy depth reading (m), clamped at the surface."""
+        reading = (
+            true_depth_m * (1.0 + self.scale_error)
+            + self.bias_m
+            + rng.normal(0.0, self.noise_std_m)
+        )
+        if self.resolution_m > 0:
+            reading = round(reading / self.resolution_m) * self.resolution_m
+        return max(reading, 0.0)
+
+    def measure_many(self, true_depth_m: float, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Vector of ``count`` independent readings."""
+        return np.array([self.measure(true_depth_m, rng) for _ in range(count)])
+
+
+@dataclass(frozen=True)
+class PressureDepthSensor(DepthSensor):
+    """Depth sensor that measures pressure and converts via hydrostatics.
+
+    Attributes
+    ----------
+    pressure_noise_pa:
+        Gaussian noise of the raw pressure reading (Pa).
+    pressure_bias_pa:
+        Systematic pressure offset, e.g. from pouch air compression.
+    """
+
+    pressure_noise_pa: float = 200.0
+    pressure_bias_pa: float = 0.0
+
+    def measure(self, true_depth_m: float, rng: np.random.Generator) -> float:
+        true_pressure = depth_to_pressure(true_depth_m)
+        raw = (
+            true_pressure
+            + self.pressure_bias_pa
+            + rng.normal(0.0, self.pressure_noise_pa)
+        )
+        depth = pressure_to_depth(raw) * (1.0 + self.scale_error) + self.bias_m
+        if self.resolution_m > 0:
+            depth = round(depth / self.resolution_m) * self.resolution_m
+        return max(depth + rng.normal(0.0, self.noise_std_m), 0.0)
+
+
+def smartwatch_depth_gauge() -> PressureDepthSensor:
+    """Apple-Watch-Ultra-class purpose-built depth gauge.
+
+    Parameters tuned so |error| averages ~0.15 m with ~0.11 m spread
+    over 0-9 m (paper Fig. 13b).
+    """
+    return PressureDepthSensor(
+        name="smartwatch_depth_gauge",
+        bias_m=0.05,
+        noise_std_m=0.10,
+        scale_error=0.01,
+        pressure_noise_pa=400.0,
+        pressure_bias_pa=300.0,
+    )
+
+
+def phone_pressure_sensor() -> PressureDepthSensor:
+    """Smartphone barometric sensor inside a waterproof pouch.
+
+    The pouch traps air whose compression loads the sensor non-ideally;
+    we model this as a larger bias, a depth-proportional scale error and
+    more pressure noise, landing near the paper's 0.42 +/- 0.18 m.
+    """
+    return PressureDepthSensor(
+        name="phone_pressure_sensor",
+        bias_m=0.20,
+        noise_std_m=0.18,
+        scale_error=0.035,
+        pressure_noise_pa=1_500.0,
+        pressure_bias_pa=1_200.0,
+    )

@@ -1,0 +1,169 @@
+"""Fig. 11: 1D ranging accuracy vs device separation (waveform level).
+
+Paper section 3.1: two Samsung S9 phones at the dock, submerged 2.5 m,
+separations 10/20/35/45 m, ~60 exchanges per distance. (a) CDF of the
+absolute ranging error per distance; (b) 95th-percentile error using
+both microphones vs the bottom or top microphone alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel.environment import DOCK
+from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.ranging.detector import detect_preamble
+from repro.ranging.estimator import single_mic_direct_path
+from repro.signals.channel_est import channel_impulse_response, ls_channel_estimate
+from repro.signals.preamble import make_preamble
+from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
+
+#: Paper-reported median ranging errors (m) by separation.
+PAPER_MEDIAN_ERROR_M = {10: 0.48, 20: 0.80, 35: 0.86}
+
+#: Paper-reported 95th percentile improvement at 45 m using both mics.
+PAPER_DUAL_MIC_GAIN_45M = 4.52
+
+
+@dataclass(frozen=True)
+class RangingSweepResult:
+    """Summary per separation distance."""
+
+    distance_m: float
+    summary: ErrorSummary
+    errors_m: np.ndarray
+
+
+def run_ranging_sweep(
+    rng: np.random.Generator,
+    distances_m: Sequence[float] = (10.0, 20.0, 35.0, 45.0),
+    num_exchanges: int = 60,
+    depth_m: float = 2.5,
+) -> List[RangingSweepResult]:
+    """Fig. 11a: ranging error distribution per separation."""
+    preamble = make_preamble()
+    config = ExchangeConfig(environment=DOCK)
+    results = []
+    for distance in distances_m:
+        errors = []
+        for _ in range(num_exchanges):
+            # Sessions vary slightly in geometry (the paper re-submerged
+            # the phones every ~20 measurements).
+            depth_tx = depth_m + rng.uniform(-0.2, 0.2)
+            depth_rx = depth_m + rng.uniform(-0.2, 0.2)
+            tx = np.array([0.0, 0.0, depth_tx])
+            rx = np.array([distance + rng.uniform(-0.1, 0.1), 0.0, depth_rx])
+            measurement = one_way_range(preamble, tx, rx, config, rng)
+            errors.append(measurement.error_m)
+        errors = np.asarray(errors)
+        results.append(
+            RangingSweepResult(
+                distance_m=float(distance),
+                summary=summarize_errors(errors),
+                errors_m=errors,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class MicAblationResult:
+    """95th-percentile ranging error per microphone configuration."""
+
+    distance_m: float
+    p95_both_m: float
+    p95_bottom_only_m: float
+    p95_top_only_m: float
+
+
+def run_mic_ablation(
+    rng: np.random.Generator,
+    distances_m: Sequence[float] = (10.0, 20.0, 35.0, 45.0),
+    num_exchanges: int = 40,
+    depth_m: float = 2.5,
+) -> List[MicAblationResult]:
+    """Fig. 11b: dual-mic estimator vs each single mic in isolation.
+
+    Runs the same received streams through the joint estimator and the
+    single-channel earliest-peak estimator, so the comparison is paired.
+    """
+    preamble = make_preamble()
+    config = ExchangeConfig(environment=DOCK)
+    fs = preamble.config.ofdm.sample_rate
+    out = []
+    for distance in distances_m:
+        errs: Dict[str, List[float]] = {"both": [], "bottom": [], "top": []}
+        for _ in range(num_exchanges):
+            tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
+            rx = np.array(
+                [distance + rng.uniform(-0.1, 0.1), 0.0, depth_m + rng.uniform(-0.2, 0.2)]
+            )
+            sound_speed = DOCK.sound_speed(depth_m)
+            mic1, mic2, guard, true_idx = simulate_reception(
+                preamble, tx, rx, config, rng
+            )
+            detection = detect_preamble(mic1, preamble, config.detection)
+            if detection is None:
+                for key in errs:
+                    errs[key].append(np.nan)
+                continue
+            cirs = []
+            for stream in (mic1, mic2):
+                h = ls_channel_estimate(stream, preamble, detection.start_index)
+                cirs.append(
+                    np.roll(channel_impulse_response(h, preamble.config.ofdm), 96)
+                )
+            from repro.ranging.estimator import estimate_direct_path
+
+            joint = estimate_direct_path(
+                cirs[0], cirs[1], sound_speed=sound_speed, sample_rate=fs
+            )
+            true_arrival = true_idx
+            if joint is not None:
+                est = detection.start_index + joint.tap - 96
+                errs["both"].append((est - true_arrival) / fs * sound_speed)
+            else:
+                errs["both"].append(np.nan)
+            for key, cir in (("bottom", cirs[0]), ("top", cirs[1])):
+                tap = single_mic_direct_path(cir, search_limit=512 + 96)
+                if tap is None:
+                    errs[key].append(np.nan)
+                else:
+                    est = detection.start_index + tap - 96
+                    errs[key].append((est - true_arrival) / fs * sound_speed)
+        out.append(
+            MicAblationResult(
+                distance_m=float(distance),
+                p95_both_m=summarize_errors(errs["both"]).p95,
+                p95_bottom_only_m=summarize_errors(errs["bottom"]).p95,
+                p95_top_only_m=summarize_errors(errs["top"]).p95,
+            )
+        )
+    return out
+
+
+def format_ranging_sweep(results: List[RangingSweepResult]) -> str:
+    """Paper-vs-measured table for Fig. 11a."""
+    lines = ["Fig. 11a: distance -> median / p95 ranging error (m) [paper median]"]
+    for r in results:
+        ref = PAPER_MEDIAN_ERROR_M.get(int(r.distance_m))
+        ref_str = f"{ref:.2f}" if ref is not None else "-"
+        lines.append(
+            f"  {r.distance_m:>5.0f} m -> {r.summary.median:.2f} / "
+            f"{r.summary.p95:.2f}  [{ref_str}]"
+        )
+    return "\n".join(lines)
+
+
+def format_mic_ablation(results: List[MicAblationResult]) -> str:
+    """Table for Fig. 11b."""
+    lines = ["Fig. 11b: distance -> p95 both / bottom-only / top-only (m)"]
+    for r in results:
+        lines.append(
+            f"  {r.distance_m:>5.0f} m -> {r.p95_both_m:.2f} / "
+            f"{r.p95_bottom_only_m:.2f} / {r.p95_top_only_m:.2f}"
+        )
+    return "\n".join(lines)

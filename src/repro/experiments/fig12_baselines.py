@@ -1,0 +1,234 @@
+"""Fig. 12: comparison against BeepBeep and CAT (FMCW).
+
+(a) Signal-detection robustness: false-positive / false-negative rates
+of our cross+auto-correlation detector vs the window-power FMCW
+detector across power thresholds, with preambles transmitted through
+the boathouse channel (spiky noise) plus noise-only trials.
+(b) 1D ranging error at 10/20/28 m for our dual-mic pipeline,
+BeepBeep's correlation peak, and CAT's FMCW dechirp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel.environment import BOATHOUSE
+from repro.channel.noise import make_noise
+from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.ranging.baselines import beepbeep_arrival, cat_fmcw_delay
+from repro.ranging.detector import DetectionConfig, detect_power_threshold, detect_preamble
+from repro.signals.chirp import linear_chirp
+from repro.signals.fmcw import FmcwConfig
+from repro.signals.preamble import make_preamble
+from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
+
+#: Paper-reported mean 1D errors (m), read off Fig. 12b.
+PAPER_FIG12B = {
+    "ours": {10: 0.25, 20: 0.4, 28: 0.5},
+    "beepbeep": {10: 0.6, 20: 1.0, 28: 1.3},
+    "cat": {10: 0.9, 20: 1.4, 28: 1.9},
+}
+
+
+@dataclass(frozen=True)
+class DetectionRates:
+    """FP/FN rates of one detector at one threshold."""
+
+    detector: str
+    threshold_db: float
+    false_positive: float
+    false_negative: float
+
+
+def run_detection_comparison(
+    rng: np.random.Generator,
+    thresholds_db: Sequence[float] = (3.0, 6.0, 10.0, 15.0, 20.0),
+    num_trials: int = 40,
+    distance_m: float = 20.0,
+) -> List[DetectionRates]:
+    """Fig. 12a: detection FP/FN, ours vs window-power threshold.
+
+    FN: preamble transmitted but not detected (or detected >50 ms off).
+    FP: detection fired on a noise-only stream.
+    """
+    preamble = make_preamble()
+    fs = preamble.config.ofdm.sample_rate
+    config = ExchangeConfig(environment=BOATHOUSE)
+    tol = int(0.05 * fs)
+
+    # Pre-render signal-present and noise-only streams (shared across
+    # thresholds so the comparison is paired).
+    present = []
+    for _ in range(num_trials):
+        tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+        rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+        mic1, _mic2, guard, true_idx = simulate_reception(preamble, tx, rx, config, rng)
+        present.append((mic1, true_idx))
+    absent = [
+        make_noise(int(0.6 * fs), BOATHOUSE.noise, rng, fs) for _ in range(num_trials)
+    ]
+
+    results: List[DetectionRates] = []
+    # Our detector has no dB threshold; report one row (constant across
+    # the sweep) using the paper's fixed thresholds.
+    ours_fn = 0
+    for stream, true_idx in present:
+        det = detect_preamble(stream, preamble, DetectionConfig())
+        if det is None or abs(det.start_index - true_idx) > tol:
+            ours_fn += 1
+    ours_fp = 0
+    for stream in absent:
+        if detect_preamble(stream, preamble, DetectionConfig()) is not None:
+            ours_fp += 1
+    for th in thresholds_db:
+        results.append(
+            DetectionRates(
+                "ours", float(th), ours_fp / num_trials, ours_fn / num_trials
+            )
+        )
+        fmcw_fn = 0
+        for stream, true_idx in present:
+            hit = detect_power_threshold(stream, threshold_db=th)
+            if hit is None or abs(hit - true_idx) > tol:
+                fmcw_fn += 1
+        fmcw_fp = 0
+        for stream in absent:
+            if detect_power_threshold(stream, threshold_db=th) is not None:
+                fmcw_fp += 1
+        results.append(
+            DetectionRates(
+                "fmcw", float(th), fmcw_fp / num_trials, fmcw_fn / num_trials
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class BaselineRangingResult:
+    """Per-algorithm error summary at one distance."""
+
+    algorithm: str
+    distance_m: float
+    summary: ErrorSummary
+
+
+def run_baseline_ranging(
+    rng: np.random.Generator,
+    distances_m: Sequence[float] = (10.0, 20.0, 28.0),
+    num_exchanges: int = 30,
+    depth_m: float = 1.0,
+) -> List[BaselineRangingResult]:
+    """Fig. 12b: 1D ranging error, ours vs BeepBeep vs CAT.
+
+    All three signals share duration and bandwidth (the paper's "fair
+    comparison" control).
+    """
+    preamble = make_preamble()
+    fs = preamble.config.ofdm.sample_rate
+    duration_s = len(preamble) / fs
+    chirp = linear_chirp(duration_s, 1_000.0, 5_000.0, fs)
+    fmcw_cfg = FmcwConfig(duration_s=duration_s)
+    config = ExchangeConfig(environment=BOATHOUSE)
+
+    errors: Dict[str, Dict[float, List[float]]] = {
+        name: {d: [] for d in distances_m} for name in ("ours", "beepbeep", "cat")
+    }
+    from repro.channel.multipath import image_method_taps
+    from repro.channel.render import apply_channel
+    from repro.simulate.waveform_sim import _channel_fluctuation
+
+    for distance in distances_m:
+        for _ in range(num_exchanges):
+            tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
+            rx = np.array([distance, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
+            nominal_speed = BOATHOUSE.sound_speed(depth_m)
+            true_d = float(np.linalg.norm(rx - tx))
+
+            # Ours: the standard pipeline.
+            ours = one_way_range(preamble, tx, rx, config, rng)
+            errors["ours"][distance].append(ours.error_m)
+
+            # Baselines ride the same channel realism: per-exchange tap
+            # fluctuation and the same sound-speed uncertainty (receivers
+            # convert with the nominal speed).
+            actual_speed = nominal_speed * (
+                1.0 + rng.normal(0.0, config.sound_speed_error_std)
+            )
+            taps = image_method_taps(
+                tx,
+                rx,
+                BOATHOUSE.water_depth_m,
+                actual_speed,
+                max_order=BOATHOUSE.max_image_order,
+                surface_coeff=BOATHOUSE.surface_coeff,
+                bottom_coeff=BOATHOUSE.bottom_coeff,
+            )
+            taps = _channel_fluctuation(taps, true_d, rng, sample_rate=fs)
+            # Guard long enough that the power detector's noise window
+            # (first ~4k samples) sees only noise.
+            guard = int(0.12 * fs)
+            tail = fmcw_cfg.num_samples  # room for the dechirp window
+            for name, wave in (("beepbeep", chirp), ("cat", chirp)):
+                body = apply_channel(wave, taps, fs)
+                stream = np.concatenate([np.zeros(guard), body, np.zeros(tail)])
+                stream = stream + make_noise(stream.size, BOATHOUSE.noise, rng, fs)
+                if name == "beepbeep":
+                    arrival = beepbeep_arrival(stream, chirp)
+                    if arrival is None:
+                        errors[name][distance].append(np.nan)
+                    else:
+                        est = (arrival - guard) / fs * nominal_speed
+                        errors[name][distance].append(est - true_d)
+                else:
+                    # CAT gets the baseline's in-air threshold (3 dB) —
+                    # generous for it underwater, as in the paper's
+                    # "fair comparison" framing.
+                    coarse = detect_power_threshold(stream, threshold_db=3.0)
+                    if coarse is None:
+                        errors[name][distance].append(np.nan)
+                        continue
+                    margin = 2_048
+                    delay = cat_fmcw_delay(stream, coarse, fmcw_cfg, margin_samples=margin)
+                    if delay is None:
+                        errors[name][distance].append(np.nan)
+                    else:
+                        anchor = max(coarse - margin, 0)
+                        est = ((anchor - guard) / fs + delay) * nominal_speed
+                        errors[name][distance].append(est - true_d)
+
+    out = []
+    for name, by_distance in errors.items():
+        for distance, errs in by_distance.items():
+            out.append(
+                BaselineRangingResult(
+                    algorithm=name,
+                    distance_m=float(distance),
+                    summary=summarize_errors(errs),
+                )
+            )
+    return out
+
+
+def format_detection(results: List[DetectionRates]) -> str:
+    lines = ["Fig. 12a: detector @ threshold -> FP / FN rate"]
+    for r in results:
+        lines.append(
+            f"  {r.detector:>8s} @ {r.threshold_db:>4.0f} dB -> "
+            f"{r.false_positive:.2f} / {r.false_negative:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_baseline_ranging(results: List[BaselineRangingResult]) -> str:
+    lines = ["Fig. 12b: algorithm @ distance -> mean|err| (m) [paper]"]
+    for r in sorted(results, key=lambda x: (x.algorithm, x.distance_m)):
+        ref = PAPER_FIG12B.get(r.algorithm, {}).get(int(r.distance_m))
+        ref_str = f"{ref:.2f}" if ref is not None else "-"
+        lines.append(
+            f"  {r.algorithm:>8s} @ {r.distance_m:>4.0f} m -> "
+            f"{r.summary.mean:.2f}  [{ref_str}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Fig. 14: effect of phone orientation and of mixed phone models.
+
+(a) Ranging error at 20 m / 2.5 m depth (dock) with the sender rotated
+to different azimuth/polar angles; the upward-facing case is worst
+because it points at the water surface (strong reflections).
+(b) Ranging error for the three phone-model pairs (Pixel+Samsung,
+Pixel+OnePlus, Samsung+OnePlus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.environment import DOCK
+from repro.devices.models import GOOGLE_PIXEL, ONEPLUS, SAMSUNG_S9, DeviceModel
+from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.signals.preamble import make_preamble
+from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
+
+#: Paper: medians range from 0.54 to 1.25 m across orientations.
+PAPER_ORIENTATION_MEDIAN_RANGE = (0.54, 1.25)
+
+#: The orientation cases of Fig. 14a: (label, azimuth deg, polar deg)
+#: for the sender; polar 90 = horizontal, 0 = facing the surface.
+ORIENTATION_CASES = (
+    ("facing (az 0)", 0.0, 90.0),
+    ("az 90", 90.0, 90.0),
+    ("az 180", 180.0, 90.0),
+    ("upward", 0.0, 0.0),
+)
+
+
+@dataclass(frozen=True)
+class OrientationResult:
+    """Error summary for one sender orientation."""
+
+    label: str
+    azimuth_deg: float
+    polar_deg: float
+    summary: ErrorSummary
+
+
+def run_orientation_sweep(
+    rng: np.random.Generator,
+    cases: Sequence[Tuple[str, float, float]] = ORIENTATION_CASES,
+    num_exchanges: int = 25,
+    distance_m: float = 20.0,
+    depth_m: float = 2.5,
+) -> List[OrientationResult]:
+    """Fig. 14a: error vs sender orientation at 20 m."""
+    preamble = make_preamble()
+    results = []
+    for label, az_deg, pol_deg in cases:
+        # Upward-facing devices sit nearer the surface (paper: worst case
+        # partly because the speaker points at the surface).
+        case_depth = 1.0 if pol_deg == 0.0 else depth_m
+        config = ExchangeConfig(
+            environment=DOCK,
+            tx_azimuth_rad=np.deg2rad(az_deg),
+            tx_polar_rad=np.deg2rad(pol_deg),
+        )
+        errors = []
+        for _ in range(num_exchanges):
+            tx = np.array([0.0, 0.0, case_depth + rng.uniform(-0.1, 0.1)])
+            rx = np.array([distance_m, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
+            errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        results.append(
+            OrientationResult(
+                label=label,
+                azimuth_deg=az_deg,
+                polar_deg=pol_deg,
+                summary=summarize_errors(errors),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class ModelPairResult:
+    """Error summary for one phone-model pair."""
+
+    pair: str
+    summary: ErrorSummary
+
+
+MODEL_PAIRS = (
+    ("pixel+samsung", GOOGLE_PIXEL, SAMSUNG_S9),
+    ("pixel+oneplus", GOOGLE_PIXEL, ONEPLUS),
+    ("samsung+oneplus", SAMSUNG_S9, ONEPLUS),
+)
+
+
+def run_model_pairs(
+    rng: np.random.Generator,
+    num_exchanges: int = 25,
+    distance_m: float = 20.0,
+    depth_m: float = 2.5,
+) -> List[ModelPairResult]:
+    """Fig. 14b: error across smartphone model pairs."""
+    preamble = make_preamble()
+    results = []
+    for name, tx_model, rx_model in MODEL_PAIRS:
+        config = ExchangeConfig(
+            environment=DOCK, tx_model=tx_model, rx_model=rx_model
+        )
+        errors = []
+        for _ in range(num_exchanges):
+            tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
+            rx = np.array([distance_m, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
+            errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        results.append(ModelPairResult(pair=name, summary=summarize_errors(errors)))
+    return results
+
+
+def format_orientation(results: List[OrientationResult]) -> str:
+    lo, hi = PAPER_ORIENTATION_MEDIAN_RANGE
+    lines = [f"Fig. 14a: orientation -> median error (m) [paper range {lo}-{hi}]"]
+    for r in results:
+        lines.append(f"  {r.label:>14s} -> {r.summary.median:.2f}")
+    return "\n".join(lines)
+
+
+def format_model_pairs(results: List[ModelPairResult]) -> str:
+    lines = ["Fig. 14b: model pair -> median error (m)"]
+    for r in results:
+        lines.append(f"  {r.pair:>16s} -> {r.summary.median:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Fig. 18: 2D localization accuracy in 5-device testbeds.
+
+The paper deploys five devices at the dock and boathouse (pairwise
+distances 3-25 m from the leader), collects ~240 measurements per site,
+and reports the 2D-error CDF broken down by link distance to the
+leader: medians (95th) of 0.9 m (3.2 m) at the dock and 1.6 m (4.9 m)
+at the boathouse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.simulate.network_sim import NetworkSimulator, RangingErrorModel
+from repro.simulate.scenario import testbed_scenario
+
+#: Paper: (median, p95) of the all-device 2D error per site.
+PAPER_FIG18 = {"dock": (0.9, 3.2), "boathouse": (1.6, 4.9)}
+
+#: Link-distance buckets of the paper's CDF breakdown.
+DISTANCE_BUCKETS = ((0.0, 10.0), (10.0, 15.0), (15.0, 25.0))
+
+
+@dataclass
+class LocalizationStudyResult:
+    """Per-site localization error study.
+
+    Attributes
+    ----------
+    site:
+        Environment name.
+    overall:
+        Summary over all devices and rounds.
+    by_bucket:
+        Summary per link-distance bucket.
+    errors:
+        All per-device errors (flattened).
+    """
+
+    site: str
+    overall: ErrorSummary
+    by_bucket: Dict[Tuple[float, float], ErrorSummary] = field(default_factory=dict)
+    errors: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+def _site_error_model(site: str) -> RangingErrorModel:
+    """Waveform-calibrated error model per site.
+
+    The boathouse is noisier and spikier (fishing/kayak traffic), which
+    the waveform calibration shows as a larger error floor and more
+    frequent reflection locks.
+    """
+    if site == "boathouse":
+        return RangingErrorModel(
+            base_std_m=0.45, std_per_m=0.02, outlier_prob=0.03, loss_prob=0.04
+        )
+    return RangingErrorModel()
+
+
+def run_localization_study(
+    rng: np.random.Generator,
+    site: str = "dock",
+    num_devices: int = 5,
+    num_layouts: int = 8,
+    rounds_per_layout: int = 6,
+) -> LocalizationStudyResult:
+    """Fig. 18: repeated rounds over several testbed layouts.
+
+    The paper used fixed layouts with re-submersion between sessions;
+    we draw several layouts and several rounds each so the CDF covers
+    comparable geometry diversity (~num_layouts * rounds_per_layout * 4
+    device-errors).
+    """
+    all_errors: List[float] = []
+    bucket_errors: Dict[Tuple[float, float], List[float]] = {
+        b: [] for b in DISTANCE_BUCKETS
+    }
+    for _ in range(num_layouts):
+        scenario = testbed_scenario(site, num_devices=num_devices, rng=rng)
+        sim = NetworkSimulator(scenario, error_model=_site_error_model(site), rng=rng)
+        for outcome in sim.run_many(rounds_per_layout):
+            for dev in range(1, num_devices):
+                err = float(outcome.errors_2d[dev])
+                link = float(outcome.link_distance_to_leader[dev])
+                all_errors.append(err)
+                for low, high in DISTANCE_BUCKETS:
+                    if low <= link < high:
+                        bucket_errors[(low, high)].append(err)
+    return LocalizationStudyResult(
+        site=site,
+        overall=summarize_errors(all_errors),
+        by_bucket={b: summarize_errors(v) for b, v in bucket_errors.items() if v},
+        errors=np.asarray(all_errors),
+    )
+
+
+def format_localization(result: LocalizationStudyResult) -> str:
+    ref = PAPER_FIG18.get(result.site)
+    ref_str = f"[paper {ref[0]:.1f} / {ref[1]:.1f}]" if ref else ""
+    lines = [
+        f"Fig. 18 ({result.site}): overall median / p95 = "
+        f"{result.overall.median:.2f} / {result.overall.p95:.2f} m {ref_str}"
+    ]
+    for (low, high), summary in sorted(result.by_bucket.items()):
+        lines.append(
+            f"  links {low:>4.0f}-{high:<4.0f} m -> median {summary.median:.2f}, "
+            f"p95 {summary.p95:.2f} (n={summary.count})"
+        )
+    return "\n".join(lines)

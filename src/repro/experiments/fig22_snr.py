@@ -1,0 +1,102 @@
+"""Fig. 22 (appendix): per-subcarrier SNR between two phones.
+
+The paper sends an 8-symbol OFDM preamble at 10/20/28 m in the
+boathouse and estimates per-subcarrier SNR with frequency-domain
+channel estimation. We reproduce the measurement: repeated symbols see
+the same channel, so the per-bin mean is signal and the per-bin
+variance across symbols is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.channel.environment import BOATHOUSE
+from repro.channel.multipath import image_method_taps
+from repro.channel.noise import make_noise
+from repro.channel.render import apply_channel
+from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
+
+#: Paper: rough SNR ranges (dB) visible in Fig. 22 per distance.
+PAPER_SNR_RANGE_DB = {10: (15, 40), 20: (5, 30), 28: (0, 25)}
+
+
+@dataclass(frozen=True)
+class SnrProfile:
+    """Per-subcarrier SNR estimate at one distance."""
+
+    distance_m: float
+    frequencies_hz: np.ndarray
+    snr_db: np.ndarray
+
+    @property
+    def median_snr_db(self) -> float:
+        return float(np.median(self.snr_db))
+
+
+def run_snr_measurement(
+    rng: np.random.Generator,
+    distances_m: Sequence[float] = (10.0, 20.0, 28.0),
+    num_symbols: int = 8,
+    depth_m: float = 1.0,
+) -> List[SnrProfile]:
+    """Estimate per-subcarrier SNR from repeated OFDM symbols."""
+    ofdm = OfdmConfig()
+    bins = band_bins(ofdm)
+    base = ofdm_symbol_from_zc(ofdm, add_cp=False)
+    base_bins_fft = np.fft.fft(base)[bins]
+    fs = ofdm.sample_rate
+    profiles = []
+    for distance in distances_m:
+        tx = np.array([0.0, 0.0, depth_m])
+        rx = np.array([float(distance), 0.0, depth_m])
+        sound_speed = BOATHOUSE.sound_speed(depth_m)
+        taps = image_method_taps(
+            tx,
+            rx,
+            BOATHOUSE.water_depth_m,
+            sound_speed,
+            max_order=BOATHOUSE.max_image_order,
+            surface_coeff=BOATHOUSE.surface_coeff,
+            bottom_coeff=BOATHOUSE.bottom_coeff,
+        )
+        # Continuous transmission of identical symbols; segment at symbol
+        # boundaries after the channel settles.
+        wave = np.tile(base, num_symbols + 2)
+        received = apply_channel(wave, taps, fs)
+        received = received + make_noise(received.size, BOATHOUSE.noise, rng, fs)
+        first_arrival = int(taps[0].delay_s * fs)
+        estimates = []
+        for k in range(1, num_symbols + 1):
+            start = first_arrival + k * ofdm.n_fft
+            symbol = received[start : start + ofdm.n_fft]
+            if symbol.size < ofdm.n_fft:
+                break
+            estimates.append(np.fft.fft(symbol)[bins] / base_bins_fft)
+        h = np.vstack(estimates)
+        signal_power = np.abs(h.mean(axis=0)) ** 2
+        noise_power = h.var(axis=0) + 1e-15
+        snr_db = 10.0 * np.log10(signal_power / noise_power)
+        profiles.append(
+            SnrProfile(
+                distance_m=float(distance),
+                frequencies_hz=bins * ofdm.bin_spacing_hz,
+                snr_db=snr_db,
+            )
+        )
+    return profiles
+
+
+def format_snr(profiles: List[SnrProfile]) -> str:
+    lines = ["Fig. 22: distance -> median / min / max subcarrier SNR (dB) [paper range]"]
+    for p in profiles:
+        ref = PAPER_SNR_RANGE_DB.get(int(p.distance_m))
+        ref_str = f"{ref[0]}..{ref[1]}" if ref else "-"
+        lines.append(
+            f"  {p.distance_m:>4.0f} m -> {p.median_snr_db:5.1f} / "
+            f"{p.snr_db.min():5.1f} / {p.snr_db.max():5.1f}  [{ref_str}]"
+        )
+    return "\n".join(lines)

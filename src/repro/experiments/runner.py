@@ -1,0 +1,189 @@
+"""Run every paper experiment and print the comparison report.
+
+Usage::
+
+    python -m repro.experiments.runner              # everything
+    python -m repro.experiments.runner fig11 tables # a subset
+
+Benchmarks under ``benchmarks/`` wrap the same experiment functions for
+pytest-benchmark; this runner is the plain-console equivalent (useful
+for regenerating EXPERIMENTS.md numbers or exploring parameters).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+
+def _fig6(rng):
+    from repro.experiments.fig06_analytical import (
+        PAPER_FIG6A,
+        PAPER_FIG6B,
+        PAPER_FIG6C,
+        PAPER_FIG6D,
+        format_sweep,
+        run_fig6a,
+        run_fig6b,
+        run_fig6c,
+        run_fig6d,
+    )
+
+    print(format_sweep("a", run_fig6a(rng, num_samples=100), PAPER_FIG6A))
+    print(format_sweep("b", run_fig6b(rng, num_samples=100), PAPER_FIG6B))
+    print(format_sweep("c", run_fig6c(rng, num_samples=100), PAPER_FIG6C))
+    print(format_sweep("d", run_fig6d(rng, num_samples=100), PAPER_FIG6D))
+
+
+def _fig11(rng):
+    from repro.experiments.fig11_ranging import (
+        format_mic_ablation,
+        format_ranging_sweep,
+        run_mic_ablation,
+        run_ranging_sweep,
+    )
+
+    print(format_ranging_sweep(run_ranging_sweep(rng, num_exchanges=40)))
+    print(format_mic_ablation(run_mic_ablation(rng, num_exchanges=25)))
+
+
+def _fig12(rng):
+    from repro.experiments.fig12_baselines import (
+        format_baseline_ranging,
+        format_detection,
+        run_baseline_ranging,
+        run_detection_comparison,
+    )
+
+    print(format_detection(run_detection_comparison(rng, num_trials=40)))
+    print(format_baseline_ranging(run_baseline_ranging(rng, num_exchanges=25)))
+
+
+def _fig13(rng):
+    from repro.experiments.fig13_depth import (
+        format_depth_sensors,
+        format_depth_sweep,
+        run_depth_sensor_accuracy,
+        run_depth_sweep,
+    )
+
+    print(format_depth_sweep(run_depth_sweep(rng, num_exchanges=30)))
+    print(format_depth_sensors(run_depth_sensor_accuracy(rng)))
+
+
+def _fig14(rng):
+    from repro.experiments.fig14_orientation import (
+        format_model_pairs,
+        format_orientation,
+        run_model_pairs,
+        run_orientation_sweep,
+    )
+
+    print(format_orientation(run_orientation_sweep(rng)))
+    print(format_model_pairs(run_model_pairs(rng)))
+
+
+def _fig15(rng):
+    from repro.experiments.fig15_motion import format_motion, run_motion_tracking
+
+    print(format_motion(run_motion_tracking(rng)))
+
+
+def _fig16(rng):
+    from repro.experiments.fig16_pointing import format_pointing, run_pointing_study
+
+    print(format_pointing(run_pointing_study(rng)))
+
+
+def _fig18(rng):
+    from repro.experiments.fig18_localization import (
+        format_localization,
+        run_localization_study,
+    )
+
+    print(format_localization(run_localization_study(rng, site="dock")))
+    print(format_localization(run_localization_study(rng, site="boathouse")))
+
+
+def _fig19(rng):
+    from repro.experiments.fig19_robustness import (
+        format_occlusion,
+        format_removal,
+        run_occlusion_study,
+        run_removal_study,
+    )
+
+    print(format_occlusion(run_occlusion_study(rng)))
+    print(format_removal(run_removal_study(rng)))
+
+
+def _fig20(rng):
+    from repro.experiments.fig20_mobility import format_mobility, run_mobility_study
+
+    print(format_mobility(run_mobility_study(rng, moving_device=1)))
+    print(format_mobility(run_mobility_study(rng, moving_device=2)))
+
+
+def _fig22(rng):
+    from repro.experiments.fig22_snr import format_snr, run_snr_measurement
+
+    print(format_snr(run_snr_measurement(rng)))
+
+
+def _tables(rng):
+    from repro.experiments.tables import (
+        format_battery,
+        format_comm_latency,
+        format_flipping,
+        format_round_times,
+        run_battery_model,
+        run_comm_latency,
+        run_flipping_accuracy,
+        run_round_times,
+    )
+
+    print(format_round_times(run_round_times(rng)))
+    print(format_flipping(run_flipping_accuracy(rng)))
+    print(format_comm_latency(run_comm_latency()))
+    print(format_battery(run_battery_model()))
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig6": _fig6,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig18": _fig18,
+    "fig19": _fig19,
+    "fig20": _fig20,
+    "fig22": _fig22,
+    "tables": _tables,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point: run the selected (or all) experiments."""
+    argv = sys.argv[1:] if argv is None else argv
+    selected = argv or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 2
+    rng = np.random.default_rng(2023)
+    for name in selected:
+        print(f"\n===== {name} " + "=" * max(0, 60 - len(name)))
+        start = time.time()
+        EXPERIMENTS[name](rng)
+        print(f"----- {name} done in {time.time() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Geometry utilities: transforms, Procrustes alignment, topologies."""
+
+from repro.geometry.transforms import (
+    rotation_matrix_2d,
+    rotate_2d,
+    reflect_across_line_2d,
+    angle_of,
+)
+from repro.geometry.procrustes import procrustes_align, procrustes_error
+from repro.geometry.topology import (
+    pairwise_distance_matrix,
+    random_scenario_positions,
+    full_weight_matrix,
+    drop_links,
+)
+
+__all__ = [
+    "rotation_matrix_2d",
+    "rotate_2d",
+    "reflect_across_line_2d",
+    "angle_of",
+    "procrustes_align",
+    "procrustes_error",
+    "pairwise_distance_matrix",
+    "random_scenario_positions",
+    "full_weight_matrix",
+    "drop_links",
+]

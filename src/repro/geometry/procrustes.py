@@ -1,0 +1,51 @@
+"""Procrustes alignment for embedding-quality metrics.
+
+SMACOF outputs positions in an arbitrary frame (any rotation,
+translation, and possibly reflection fits the distances equally well).
+To measure the *shape* error of an embedding independent of the
+ambiguity-resolution stage, tests and some experiments align the
+estimate to ground truth with an orthogonal Procrustes fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def procrustes_align(
+    estimate: np.ndarray, reference: np.ndarray, allow_reflection: bool = True
+) -> np.ndarray:
+    """Rigidly align ``estimate`` onto ``reference`` (both N x d).
+
+    Finds the rotation (optionally with reflection) and translation that
+    minimise the sum of squared distances to ``reference`` and returns
+    the transformed estimate. No scaling is applied — distances carry
+    absolute scale in this system.
+    """
+    est = np.asarray(estimate, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if est.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {ref.shape}")
+    if est.ndim != 2:
+        raise ValueError("inputs must be (N, d) arrays")
+    mu_e = est.mean(axis=0)
+    mu_r = ref.mean(axis=0)
+    e = est - mu_e
+    r = ref - mu_r
+    u, _, vt = np.linalg.svd(e.T @ r)
+    rot = u @ vt
+    if not allow_reflection and np.linalg.det(rot) < 0:
+        u_fixed = u.copy()
+        u_fixed[:, -1] *= -1
+        rot = u_fixed @ vt
+    return e @ rot + mu_r
+
+
+def procrustes_error(
+    estimate: np.ndarray,
+    reference: np.ndarray,
+    allow_reflection: bool = True,
+) -> np.ndarray:
+    """Per-point distance error after optimal rigid alignment."""
+    aligned = procrustes_align(estimate, reference, allow_reflection)
+    return np.linalg.norm(aligned - np.asarray(reference, dtype=float), axis=1)

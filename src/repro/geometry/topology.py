@@ -1,0 +1,115 @@
+"""Topology generation for the analytical evaluation (paper section 2.1.5).
+
+The paper's simulation places N devices in a 60 x 60 x 10 m volume: the
+leader at the centre with random height, user 1 at a 4-9 m range from
+the leader, the remaining divers uniformly in the volume. Measurement
+errors are uniform: ``[-eps, +eps]`` for pairwise distances, height and
+pointing angle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def pairwise_distance_matrix(positions: np.ndarray) -> np.ndarray:
+    """Symmetric matrix of euclidean distances between rows."""
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("positions must be (N, d)")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.linalg.norm(diff, axis=-1)
+
+
+def full_weight_matrix(n: int) -> np.ndarray:
+    """All-ones weight matrix with zero diagonal (fully connected)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    w = np.ones((n, n))
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def random_scenario_positions(
+    num_devices: int,
+    rng: np.random.Generator,
+    area_xy: float = 60.0,
+    depth_range: float = 10.0,
+    user1_min_range: float = 4.0,
+    user1_max_range: float = 9.0,
+) -> np.ndarray:
+    """Random 3D positions per the paper's analytical setup.
+
+    Returns an (N, 3) array with ``z`` as depth. Device 0 (leader) sits
+    at the horizontal centre at random depth; device 1 is placed at a
+    uniform 4-9 m 3D range from the leader; the rest are uniform in the
+    volume.
+    """
+    if num_devices < 3:
+        raise ValueError("scenario needs at least 3 devices")
+    half = area_xy / 2.0
+    positions = np.zeros((num_devices, 3))
+    positions[0] = [0.0, 0.0, rng.uniform(0, depth_range)]
+    # User 1: uniform direction, uniform range in [min, max], clamped into
+    # the water column.
+    for _attempt in range(100):
+        direction = rng.standard_normal(3)
+        direction /= np.linalg.norm(direction)
+        radius = rng.uniform(user1_min_range, user1_max_range)
+        candidate = positions[0] + radius * direction
+        if 0 <= candidate[2] <= depth_range and abs(candidate[0]) <= half and abs(candidate[1]) <= half:
+            positions[1] = candidate
+            break
+    else:
+        # Fall back to a horizontal placement, always valid.
+        positions[1] = positions[0] + [user1_min_range, 0.0, 0.0]
+    for i in range(2, num_devices):
+        positions[i] = [
+            rng.uniform(-half, half),
+            rng.uniform(-half, half),
+            rng.uniform(0, depth_range),
+        ]
+    return positions
+
+
+def drop_links(
+    weights: np.ndarray,
+    num_drops: int,
+    rng: np.random.Generator,
+    protect: Tuple[int, int] | None = (0, 1),
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Randomly zero out ``num_drops`` links of a weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        Symmetric weight matrix (modified copy is returned).
+    num_drops:
+        Number of links to remove.
+    protect:
+        A link that must never be dropped (default: leader-user1, which
+        anchors rotation disambiguation).
+
+    Returns
+    -------
+    (new_weights, dropped)
+        The modified copy and the list of dropped ``(i, j)`` pairs.
+    """
+    w = np.array(weights, dtype=float, copy=True)
+    n = w.shape[0]
+    candidates = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if w[i, j] > 0 and (protect is None or (i, j) != tuple(sorted(protect)))
+    ]
+    if num_drops > len(candidates):
+        raise ValueError(f"cannot drop {num_drops} links, only {len(candidates)} available")
+    idx = rng.choice(len(candidates), size=num_drops, replace=False)
+    dropped = [candidates[int(k)] for k in np.atleast_1d(idx)] if num_drops else []
+    for i, j in dropped:
+        w[i, j] = 0.0
+        w[j, i] = 0.0
+    return w, dropped

@@ -1,0 +1,121 @@
+"""End-to-end localization pipeline: distances + depths -> 3D positions.
+
+Combines the stages of section 2.1: depth projection, outlier-aware
+weighted SMACOF, rotation pinning and flip disambiguation, then lifts
+the 2D solution back to 3D with the measured depths. Positions are
+expressed in the leader's frame: leader at the origin, x-y the
+horizontal plane, z depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LocalizationError
+from repro.localization.ambiguity import resolve_flipping, resolve_rotation
+from repro.localization.outliers import OutlierResult, detect_outliers
+from repro.localization.projection import project_distances
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Full output of one localization run.
+
+    Attributes
+    ----------
+    positions3d:
+        (N, 3) array in the leader frame (leader at origin; z = measured
+        depth *relative to the leader's depth*).
+    positions2d:
+        (N, 2) horizontal positions after ambiguity resolution.
+    normalized_stress:
+        Normalised SMACOF stress of the accepted embedding (m).
+    dropped_links:
+        Outlier links removed by Algorithm 1.
+    outliers_suspected:
+        Whether the stress threshold tripped.
+    flip_votes:
+        ``(vote_original, vote_mirror)`` from the dual-mic vote; equal
+        values mean no flip information was available.
+    """
+
+    positions3d: np.ndarray
+    positions2d: np.ndarray
+    normalized_stress: float
+    dropped_links: Tuple[Edge, ...]
+    outliers_suspected: bool
+    flip_votes: Tuple[float, float]
+
+
+def localize(
+    distances: np.ndarray,
+    depths: np.ndarray,
+    pointing_azimuth_rad: float = 0.0,
+    arrival_signs: Optional[Dict[int, int]] = None,
+    weights: np.ndarray | None = None,
+    stress_threshold: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> LocalizationResult:
+    """Localize all devices relative to the leader.
+
+    Parameters
+    ----------
+    distances:
+        (N, N) measured 3D distance matrix (device 0 = leader, device 1
+        = the diver the leader points at).
+    depths:
+        Length-N measured depths (m).
+    pointing_azimuth_rad:
+        World-frame azimuth the leader faces (resolves rotation).
+    arrival_signs:
+        Dual-mic arrival-order signs per diver index >= 2 (resolves
+        flipping); ``None`` or empty keeps the SMACOF handedness.
+    weights:
+        Link weight matrix; zero entries are missing links.
+    stress_threshold:
+        Override for the outlier-detection threshold.
+    rng:
+        Randomness source for SMACOF initialisation jitter.
+
+    Raises
+    ------
+    LocalizationError
+        If fewer than 3 devices are given (with two divers the system
+        can only do ranging, as the paper notes).
+    """
+    d = np.asarray(distances, dtype=float)
+    h = np.asarray(depths, dtype=float)
+    n = d.shape[0]
+    if n < 3:
+        raise LocalizationError(
+            "localization needs at least 3 devices; with 2 only ranging is possible"
+        )
+    if h.shape != (n,):
+        raise ValueError("depths must have one entry per device")
+
+    projected, w = project_distances(d, h, weights)
+    kwargs = {}
+    if stress_threshold is not None:
+        kwargs["stress_threshold"] = stress_threshold
+    outlier_result: OutlierResult = detect_outliers(projected, w, rng=rng, **kwargs)
+
+    oriented = resolve_rotation(outlier_result.positions, pointing_azimuth_rad)
+    if arrival_signs:
+        final2d, v_orig, v_mirr = resolve_flipping(oriented, arrival_signs)
+    else:
+        final2d, v_orig, v_mirr = oriented, 0.0, 0.0
+
+    positions3d = np.column_stack([final2d, h - h[0]])
+    return LocalizationResult(
+        positions3d=positions3d,
+        positions2d=final2d,
+        normalized_stress=outlier_result.normalized_stress,
+        dropped_links=outlier_result.dropped_links,
+        outliers_suspected=outlier_result.outliers_suspected,
+        flip_votes=(v_orig, v_mirr),
+    )

@@ -1,0 +1,71 @@
+"""Projection of 3D distances onto the horizontal plane.
+
+With per-device depths ``h_i`` from the on-board sensors, the 3D
+localization problem reduces to 2D (paper section 2.1.1)::
+
+    D2D_ij = sqrt(D_ij^2 - (h_i - h_j)^2)
+
+Measurement noise can make the radicand negative (measured slant range
+smaller than the depth difference); such links are either clamped to
+zero horizontal distance (small violations, attributable to noise) or
+flagged as invalid and removed from the weight matrix (large
+violations, usually outliers).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def project_distances(
+    distances: np.ndarray,
+    depths: np.ndarray,
+    weights: np.ndarray | None = None,
+    violation_tolerance_m: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project a slant-range matrix into the horizontal plane.
+
+    Parameters
+    ----------
+    distances:
+        (N, N) symmetric matrix of measured 3D distances.
+    depths:
+        Length-N vector of measured depths.
+    weights:
+        Optional (N, N) weight matrix; zero entries are missing links.
+        A copy is returned with invalid projections also zeroed.
+    violation_tolerance_m:
+        If ``|h_i - h_j| - D_ij`` exceeds this, the link is marked
+        invalid (weight 0) instead of being clamped.
+
+    Returns
+    -------
+    (projected, new_weights)
+        Projected 2D distance matrix and the updated weight matrix.
+    """
+    d = np.asarray(distances, dtype=float)
+    h = np.asarray(depths, dtype=float)
+    n = d.shape[0]
+    if d.shape != (n, n):
+        raise ValueError("distances must be square")
+    if h.shape != (n,):
+        raise ValueError("depths must be a length-N vector")
+    if weights is None:
+        w = np.ones((n, n))
+        np.fill_diagonal(w, 0.0)
+    else:
+        w = np.array(weights, dtype=float, copy=True)
+
+    dh = h[:, None] - h[None, :]
+    radicand = d**2 - dh**2
+    projected = np.sqrt(np.clip(radicand, 0.0, None))
+    violation = np.abs(dh) - d
+    invalid = (violation > violation_tolerance_m) & (w > 0)
+    if np.any(invalid):
+        w[invalid] = 0.0
+        # Keep symmetry.
+        w[invalid.T] = 0.0
+    np.fill_diagonal(projected, 0.0)
+    return projected, w

@@ -1,0 +1,48 @@
+"""Pressure <-> depth conversion used by the on-device depth estimate.
+
+The paper (section 3.1, "Depth accuracy") converts smartphone pressure
+sensor readings to depth with the hydrostatic relation::
+
+    h = (P - P0) / (rho * g)
+
+with ``rho = 997 kg/m^3``, ``g = 9.81 m/s^2`` and atmospheric pressure
+``P0 = 101325 Pa``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ATMOSPHERIC_PRESSURE_PA, GRAVITY, WATER_DENSITY
+
+
+def pressure_to_depth(
+    pressure_pa,
+    water_density=WATER_DENSITY,
+    gravity=GRAVITY,
+    surface_pressure_pa=ATMOSPHERIC_PRESSURE_PA,
+):
+    """Convert absolute pressure (Pa) to depth below the surface (m).
+
+    Readings above the surface pressure map to negative depths; callers that
+    model sensors should clamp as appropriate.
+    """
+    p = np.asarray(pressure_pa, dtype=float)
+    depth = (p - surface_pressure_pa) / (water_density * gravity)
+    if np.ndim(depth) == 0:
+        return float(depth)
+    return depth
+
+
+def depth_to_pressure(
+    depth_m,
+    water_density=WATER_DENSITY,
+    gravity=GRAVITY,
+    surface_pressure_pa=ATMOSPHERIC_PRESSURE_PA,
+):
+    """Convert depth below the surface (m) to absolute pressure (Pa)."""
+    h = np.asarray(depth_m, dtype=float)
+    pressure = surface_pressure_pa + water_density * gravity * h
+    if np.ndim(pressure) == 0:
+        return float(pressure)
+    return pressure

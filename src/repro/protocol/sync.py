@@ -1,0 +1,71 @@
+"""Slot inference for devices outside the leader's range.
+
+A device that never hears the leader synchronises to the *first* beacon
+it receives (paper section 2.3). If that beacon came from device ``j``
+and the gap to the device's own slot, ``(i - j) * Delta_1``, exceeds
+the processing margin ``Delta_0``, the device can still make its slot::
+
+    T^i_i = T^i_j + (i - j) * Delta_1
+
+Otherwise its slot has effectively passed (or is too close to prepare a
+transmission), and it waits for one full extra cycle::
+
+    T^i_i = T^i_j + (N - j + i) * Delta_1
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.constants import DELTA0_S, DELTA1_S
+from repro.errors import ProtocolError
+
+
+def infer_transmit_slot(
+    device_id: int,
+    heard_from_id: int,
+    arrival_local_s: float,
+    num_devices: int,
+    delta0_s: float = DELTA0_S,
+    delta1_s: float = DELTA1_S,
+) -> Tuple[float, bool]:
+    """Local transmit time for a device given its first-heard beacon.
+
+    Parameters
+    ----------
+    device_id:
+        This device (``i >= 1``).
+    heard_from_id:
+        Sender of the first beacon received (``j``).
+    arrival_local_s:
+        Arrival timestamp ``T^i_j`` in this device's clock.
+    num_devices:
+        Group size N.
+    delta0_s / delta1_s:
+        Protocol timing.
+
+    Returns
+    -------
+    (tx_local_s, missed_slot)
+        The local transmit time and whether the device had to defer to
+        the extra cycle.
+    """
+    if device_id <= 0:
+        raise ProtocolError("the leader does not infer a slot")
+    if heard_from_id == device_id:
+        raise ProtocolError("a device cannot sync to itself")
+    if not 0 <= heard_from_id < num_devices or device_id >= num_devices:
+        raise ProtocolError("device ids must be inside the group")
+
+    if heard_from_id == 0:
+        # Normal case: heard the leader; local zero is the arrival.
+        return arrival_local_s + delta0_s + (device_id - 1) * delta1_s, False
+
+    gap_slots = device_id - heard_from_id
+    if gap_slots * delta1_s > delta0_s:
+        return arrival_local_s + gap_slots * delta1_s, False
+    # Missed (or cannot make) the slot: wait a full extra cycle.
+    return (
+        arrival_local_s + (num_devices - heard_from_id + device_id) * delta1_s,
+        True,
+    )

@@ -1,0 +1,208 @@
+"""Uplink report compression and latency (paper section 2.4).
+
+Each device compresses its round data before the FSK uplink:
+
+* **Depth** at 0.2 m resolution over 0-40 m: 8 bits.
+* **Timestamps**: instead of absolute values, the offset of ``T^i_j``
+  from sender ``j``'s assigned slot ``Delta_0 + (j-1) Delta_1`` — which
+  is bounded by ``[0, 2 tau_max)`` — quantised at 2-sample resolution:
+  10 bits each (2 tau_max = 42 ms ~ 1852 samples at 44.1 kHz). A
+  reserved all-ones code marks "not heard".
+
+Total: ``10 (N - 1) + 8`` bits per device, rate-2/3 convolutionally
+coded, 100 bps per device in its own FSK band (all devices transmit
+simultaneously) — about 0.9/1.0/1.2 s for N = 6/7/8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    DELTA0_S,
+    DELTA1_S,
+    DEPTH_BITS,
+    DEPTH_RESOLUTION_M,
+    MAX_DEPTH_M,
+    SAMPLE_RATE,
+    TIMESTAMP_BITS,
+    TIMESTAMP_SAMPLE_RESOLUTION,
+    TWO_TAU_MAX_S,
+    UPLINK_BITRATE_BPS,
+    UPLINK_CODE_RATE,
+)
+from repro.errors import DecodingError
+from repro.protocol.messages import TimestampReport
+from repro.protocol.slots import assigned_slot_time
+
+#: Reserved timestamp code meaning "this sender was not heard".
+MISSING_CODE = (1 << TIMESTAMP_BITS) - 1
+
+
+def _int_to_bits(value: int, width: int) -> List[int]:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - k)) & 1 for k in range(width)]
+
+
+def _bits_to_int(bits: List[int]) -> int:
+    out = 0
+    for b in bits:
+        out = (out << 1) | int(b)
+    return out
+
+
+def report_num_bits(num_devices: int) -> int:
+    """Payload size ``10 (N - 1) + 8`` bits for a group of N."""
+    if num_devices < 2:
+        raise ValueError("group needs at least 2 devices")
+    return TIMESTAMP_BITS * (num_devices - 1) + DEPTH_BITS
+
+
+def quantize_depth(depth_m: float) -> int:
+    """Depth code at 0.2 m resolution, clamped to [0, 40] m."""
+    clamped = min(max(depth_m, 0.0), MAX_DEPTH_M)
+    code = int(round(clamped / DEPTH_RESOLUTION_M))
+    return min(code, (1 << DEPTH_BITS) - 1)
+
+
+def dequantize_depth(code: int) -> float:
+    """Inverse of :func:`quantize_depth`."""
+    return code * DEPTH_RESOLUTION_M
+
+
+def quantize_timestamp_offset(
+    offset_s: float,
+    sample_rate: float = SAMPLE_RATE,
+    negative_tolerance_s: float = 0.0005,
+) -> Optional[int]:
+    """Code for a timestamp offset in ``[0, 2 tau_max)``.
+
+    Detection noise can push a geometrically valid offset slightly below
+    zero; offsets within ``negative_tolerance_s`` of zero are clamped
+    rather than dropped (the clamp biases the reported time by at most
+    half a millisecond, i.e. well under half a metre after the two-way
+    average, whereas dropping the link loses it entirely). Returns
+    ``None`` when the offset is outside the representable range (the
+    link is then reported as missing).
+    """
+    if offset_s < -negative_tolerance_s or offset_s >= TWO_TAU_MAX_S:
+        return None
+    offset_s = max(offset_s, 0.0)
+    samples = offset_s * sample_rate
+    code = int(round(samples / TIMESTAMP_SAMPLE_RESOLUTION))
+    if code >= MISSING_CODE:
+        return None
+    return code
+
+
+def dequantize_timestamp_offset(code: int, sample_rate: float = SAMPLE_RATE) -> float:
+    """Inverse of :func:`quantize_timestamp_offset`."""
+    return code * TIMESTAMP_SAMPLE_RESOLUTION / sample_rate
+
+
+def encode_report(
+    report: TimestampReport,
+    num_devices: int,
+    delta0_s: float = DELTA0_S,
+    delta1_s: float = DELTA1_S,
+    sample_rate: float = SAMPLE_RATE,
+) -> List[int]:
+    """Pack one device's report into the uplink bit layout.
+
+    Timestamps are referenced to each sender's assigned slot in the
+    reporting device's local timeline (local zero at the leader's
+    arrival, hence the leader's own beacon maps to slot time 0).
+    """
+    bits: List[int] = []
+    bits.extend(_int_to_bits(quantize_depth(report.depth_m), DEPTH_BITS))
+    # The reporting device's local zero is when it heard the leader; the
+    # leader's arrival timestamp itself defines that zero, so sender
+    # slots are expressed on the same axis.
+    leader_arrival = report.receptions.get(0, 0.0)
+    for sender in range(num_devices):
+        if sender == report.device_id:
+            continue
+        code = MISSING_CODE
+        if report.heard(sender):
+            slot = assigned_slot_time(sender, delta0_s, delta1_s)
+            offset = (report.receptions[sender] - leader_arrival) - slot
+            quantized = quantize_timestamp_offset(offset, sample_rate)
+            if quantized is not None:
+                code = quantized
+        bits.extend(_int_to_bits(code, TIMESTAMP_BITS))
+    return bits
+
+
+def decode_report(
+    bits: List[int],
+    device_id: int,
+    num_devices: int,
+    delta0_s: float = DELTA0_S,
+    delta1_s: float = DELTA1_S,
+    sample_rate: float = SAMPLE_RATE,
+) -> TimestampReport:
+    """Unpack the uplink bit layout back into a report.
+
+    The reconstructed timestamps live on the device's slot-relative
+    local axis (local zero at the leader arrival); this matches what
+    :func:`repro.protocol.ranging_matrix.pairwise_distances_from_reports`
+    needs, because only within-clock differences are ever used.
+    """
+    expected = report_num_bits(num_devices)
+    if len(bits) != expected:
+        raise DecodingError(f"report must be {expected} bits, got {len(bits)}")
+    depth = dequantize_depth(_bits_to_int(bits[:DEPTH_BITS]))
+    receptions: Dict[int, float] = {}
+    cursor = DEPTH_BITS
+    for sender in range(num_devices):
+        if sender == device_id:
+            continue
+        code = _bits_to_int(bits[cursor : cursor + TIMESTAMP_BITS])
+        cursor += TIMESTAMP_BITS
+        if code == MISSING_CODE:
+            continue
+        slot = assigned_slot_time(sender, delta0_s, delta1_s)
+        receptions[sender] = slot + dequantize_timestamp_offset(code, sample_rate)
+    return TimestampReport(
+        device_id=device_id,
+        depth_m=depth,
+        own_tx_local_s=assigned_slot_time(device_id, delta0_s, delta1_s),
+        receptions=receptions,
+    )
+
+
+def communication_latency_s(
+    num_devices: int,
+    bitrate_bps: float = UPLINK_BITRATE_BPS,
+    code_rate: float = UPLINK_CODE_RATE,
+) -> float:
+    """Uplink airtime: all devices transmit simultaneously, so the
+    latency is one (coded) report duration."""
+    raw_bits = report_num_bits(num_devices)
+    coded_bits = raw_bits / code_rate
+    return coded_bits / bitrate_bps
+
+
+def normalize_report_to_leader_zero(
+    report: TimestampReport, num_devices: int
+) -> Tuple[TimestampReport, bool]:
+    """Re-express a report with local zero at the leader's arrival.
+
+    Devices that heard the leader timestamp everything relative to an
+    arbitrary stream origin; shifting so ``T^i_0 = 0`` puts the report
+    in the form the uplink encoding assumes. Devices that never heard
+    the leader are returned unshifted (flag False).
+    """
+    if not report.heard(0):
+        return report, False
+    zero = report.receptions[0]
+    shifted = TimestampReport(
+        device_id=report.device_id,
+        depth_m=report.depth_m,
+        own_tx_local_s=report.own_tx_local_s - zero,
+        receptions={j: t - zero for j, t in report.receptions.items()},
+    )
+    return shifted, True

@@ -1,0 +1,29 @@
+"""Pairwise acoustic ranging: detection, direct-path search, baselines."""
+
+from repro.ranging.detector import (
+    DetectionConfig,
+    Detection,
+    detect_preamble,
+    detect_power_threshold,
+)
+from repro.ranging.estimator import (
+    DirectPathEstimate,
+    estimate_direct_path,
+    single_mic_direct_path,
+)
+from repro.ranging.baselines import beepbeep_arrival, cat_fmcw_delay
+from repro.ranging.pairwise import ArrivalEstimate, estimate_arrival
+
+__all__ = [
+    "DetectionConfig",
+    "Detection",
+    "detect_preamble",
+    "detect_power_threshold",
+    "DirectPathEstimate",
+    "estimate_direct_path",
+    "single_mic_direct_path",
+    "beepbeep_arrival",
+    "cat_fmcw_delay",
+    "ArrivalEstimate",
+    "estimate_arrival",
+]

@@ -1,0 +1,97 @@
+"""Least-squares (LS) channel estimation from the received preamble.
+
+Paper section 2.2.1: after coarse synchronisation, the receiver segments
+the four received OFDM symbols ``y_1..y_4``, FFTs them into
+``Y_1..Y_4`` and solves the per-bin LS estimate::
+
+    H_hat(k) = (1/4) * sum_i Y_i(k) / (PN_i * X(k))
+
+The time-domain channel impulse response is then obtained by placing the
+in-band estimate back on the FFT grid (Hermitian-symmetric) and inverse
+transforming. Out-of-band bins carry no information and are left at
+zero, which band-limits the impulse response — the same situation the
+real system faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signals.ofdm import OfdmConfig, band_bins
+from repro.signals.preamble import Preamble
+
+
+def ls_channel_estimate(
+    stream: np.ndarray, preamble: Preamble, start_index: int
+) -> np.ndarray:
+    """Estimate the in-band channel frequency response ``H_hat``.
+
+    Parameters
+    ----------
+    stream:
+        Microphone samples.
+    preamble:
+        The transmitted preamble (provides the reference bins ``X`` and
+        the PN signs).
+    start_index:
+        Coarse-sync estimate of the preamble start within ``stream``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex per-bin channel estimate over the in-band bins.
+    """
+    stream = np.asarray(stream, dtype=float)
+    cfg = preamble.config
+    n_fft = cfg.ofdm.n_fft
+    bins = band_bins(cfg.ofdm)
+    accum = np.zeros(len(bins), dtype=complex)
+    count = 0
+    for sign, sym_start in zip(cfg.pn_signs, preamble.symbol_starts(start_index)):
+        sym_start = int(sym_start)
+        if sym_start < 0 or sym_start + n_fft > stream.size:
+            continue
+        symbol = stream[sym_start : sym_start + n_fft]
+        spectrum = np.fft.fft(symbol)
+        accum += spectrum[bins] / (sign * preamble.base_bins)
+        count += 1
+    if count == 0:
+        raise ValueError("start_index leaves no complete OFDM symbol in stream")
+    return accum / count
+
+
+def channel_impulse_response(
+    h_freq: np.ndarray, ofdm: OfdmConfig, normalize: bool = True
+) -> np.ndarray:
+    """Convert an in-band frequency response to a time-domain magnitude CIR.
+
+    Parameters
+    ----------
+    h_freq:
+        Per-bin complex channel estimate over :func:`band_bins`.
+    ofdm:
+        The OFDM configuration that defines the FFT grid.
+    normalize:
+        Scale the magnitude response to peak 1 (the paper normalises both
+        microphone channels to [0, 1] before the joint direct-path
+        search).
+
+    Returns
+    -------
+    numpy.ndarray
+        Real non-negative array of length ``n_fft``: the magnitude of the
+        band-limited impulse response.
+    """
+    bins = band_bins(ofdm)
+    h = np.asarray(h_freq, dtype=complex)
+    if h.shape != bins.shape:
+        raise ValueError(f"expected {bins.size} in-band values, got {h.size}")
+    spectrum = np.zeros(ofdm.n_fft, dtype=complex)
+    spectrum[bins] = h
+    spectrum[-bins] = np.conj(h)
+    cir = np.abs(np.fft.ifft(spectrum))
+    if normalize:
+        peak = cir.max()
+        if peak > 0:
+            cir = cir / peak
+    return cir

@@ -1,0 +1,177 @@
+"""Convolutional coding for the uplink payload.
+
+The paper applies a rate-2/3 convolutional code to the timestamp/depth
+report (section 2.4). We implement the standard construction: a rate-1/2
+mother code (constraint length 7, polynomials 133/171 octal — the
+ubiquitous Voyager/802.11 code) punctured to rate 2/3, with a Viterbi
+decoder that understands the puncturing pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DecodingError
+
+#: Generator polynomials of the rate-1/2 mother code (octal 133, 171).
+G0 = 0o133
+G1 = 0o171
+
+#: Constraint length of the mother code.
+CONSTRAINT_LEN = 7
+
+#: Number of delay (memory) bits in the encoder shift register.
+_MEMORY = CONSTRAINT_LEN - 1
+
+#: Rate-2/3 puncturing pattern over pairs of mother-code output bits:
+#: for every two input bits (four coded bits c0a c0b c1a c1b) we transmit
+#: three (c0a c0b c1a). 1 = transmit, 0 = puncture.
+PUNCTURE_PATTERN = (1, 1, 1, 0)
+
+
+def _parity(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+def _code_bits(state: int, bit: int) -> tuple[int, int]:
+    """Mother-code output pair for input ``bit`` given encoder ``state``."""
+    register = (bit << _MEMORY) | state
+    return _parity(register & G0), _parity(register & G1)
+
+
+def conv_encode(bits: Sequence[int], terminate: bool = True) -> List[int]:
+    """Encode ``bits`` with the rate-1/2 mother code.
+
+    Parameters
+    ----------
+    bits:
+        Iterable of 0/1 message bits.
+    terminate:
+        Append ``CONSTRAINT_LEN - 1`` zero flush bits so the trellis ends
+        in the zero state (needed for reliable Viterbi decoding).
+    """
+    message = [int(b) for b in bits]
+    if any(b not in (0, 1) for b in message):
+        raise ValueError("bits must be 0/1")
+    if terminate:
+        message = message + [0] * _MEMORY
+    state = 0
+    out: List[int] = []
+    for bit in message:
+        c0, c1 = _code_bits(state, bit)
+        out.extend((c0, c1))
+        state = ((bit << _MEMORY) | state) >> 1
+    return out
+
+
+def puncture_to_rate_2_3(coded: Sequence[int]) -> List[int]:
+    """Drop mother-code bits according to :data:`PUNCTURE_PATTERN`."""
+    return [b for i, b in enumerate(coded) if PUNCTURE_PATTERN[i % len(PUNCTURE_PATTERN)]]
+
+
+def depuncture_from_rate_2_3(punctured: Sequence[float]) -> List[float]:
+    """Re-insert erasures (0.5 soft value) where bits were punctured."""
+    out: List[float] = []
+    it = iter(punctured)
+    pattern = PUNCTURE_PATTERN
+    i = 0
+    consumed = 0
+    total = len(punctured)
+    while consumed < total:
+        if pattern[i % len(pattern)]:
+            out.append(float(next(it)))
+            consumed += 1
+        else:
+            out.append(0.5)
+        i += 1
+    # Pad trailing punctured positions so the length is a whole number of
+    # mother-code pairs.
+    while len(out) % 2:
+        out.append(0.5)
+    return out
+
+
+def viterbi_decode(coded: Sequence[float], num_message_bits: int, terminated: bool = True) -> List[int]:
+    """Viterbi decode soft/hard mother-code bits.
+
+    Parameters
+    ----------
+    coded:
+        Sequence of received code bits; values in [0, 1] are treated as
+        soft decisions (0.5 = erasure).
+    num_message_bits:
+        Number of original message bits (excluding flush bits).
+    terminated:
+        Whether the encoder appended flush bits (trellis ends in state 0).
+
+    Raises
+    ------
+    DecodingError
+        If the coded stream is too short for the requested message length.
+    """
+    received = [float(b) for b in coded]
+    total_bits = num_message_bits + (_MEMORY if terminated else 0)
+    if len(received) < 2 * total_bits:
+        raise DecodingError(
+            f"coded stream too short: need {2 * total_bits} bits, got {len(received)}"
+        )
+    num_states = 1 << _MEMORY
+    inf = float("inf")
+    metrics = np.full(num_states, inf)
+    metrics[0] = 0.0
+    history = np.zeros((total_bits, num_states), dtype=np.int32)
+
+    # Precompute transitions: next_state[state][bit], out_bits[state][bit].
+    next_state = np.zeros((num_states, 2), dtype=np.int32)
+    outputs = np.zeros((num_states, 2, 2), dtype=np.int8)
+    for state in range(num_states):
+        for bit in (0, 1):
+            c0, c1 = _code_bits(state, bit)
+            next_state[state, bit] = ((bit << _MEMORY) | state) >> 1
+            outputs[state, bit, 0] = c0
+            outputs[state, bit, 1] = c1
+
+    for step in range(total_bits):
+        r0 = received[2 * step]
+        r1 = received[2 * step + 1]
+        new_metrics = np.full(num_states, inf)
+        new_from = np.zeros(num_states, dtype=np.int32)
+        for state in range(num_states):
+            m = metrics[state]
+            if m == inf:
+                continue
+            for bit in (0, 1):
+                ns = next_state[state, bit]
+                cost = abs(r0 - outputs[state, bit, 0]) + abs(r1 - outputs[state, bit, 1])
+                cand = m + cost
+                if cand < new_metrics[ns]:
+                    new_metrics[ns] = cand
+                    new_from[ns] = state * 2 + bit
+        metrics = new_metrics
+        history[step] = new_from
+
+    end_state = 0 if terminated else int(np.argmin(metrics))
+    if metrics[end_state] == inf:
+        raise DecodingError("no surviving Viterbi path")
+    # Trace back.
+    bits_rev: List[int] = []
+    state = end_state
+    for step in range(total_bits - 1, -1, -1):
+        packed = history[step, state]
+        prev_state, bit = divmod(int(packed), 2)
+        bits_rev.append(bit)
+        state = prev_state
+    decoded = bits_rev[::-1]
+    return decoded[:num_message_bits]
+
+
+def encode_rate_2_3(bits: Sequence[int]) -> List[int]:
+    """Convenience: rate-1/2 encode then puncture to rate 2/3."""
+    return puncture_to_rate_2_3(conv_encode(bits, terminate=True))
+
+
+def decode_rate_2_3(coded: Sequence[float], num_message_bits: int) -> List[int]:
+    """Convenience: depuncture then Viterbi decode a rate-2/3 stream."""
+    return viterbi_decode(depuncture_from_rate_2_3(coded), num_message_bits, terminated=True)

@@ -1,0 +1,134 @@
+"""Correlation primitives for preamble detection and coarse sync.
+
+Two statistics are used (paper section 2.2.1):
+
+* **Cross-correlation** between the microphone stream and the known
+  preamble gives candidate arrival positions but is vulnerable to
+  impulsive underwater noise (bubbles) that produces tall spurious peaks.
+* **Segment auto-correlation** exploits the 4-symbol PN structure: the
+  received stream is split into the four symbol segments, each is
+  multiplied by its PN sign, and segments are correlated against each
+  other. Since all four symbols traverse nearly the same multipath, the
+  inter-segment correlation is high for a genuine preamble and low for
+  noise, however spiky.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+
+def cross_correlate(stream: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Raw linear cross-correlation of ``stream`` with ``template``.
+
+    Output index ``i`` corresponds to the template starting at stream
+    sample ``i`` (mode="valid"-style alignment but full length, i.e. the
+    output has ``len(stream)`` entries with zero padding at the tail).
+    """
+    stream = np.asarray(stream, dtype=float)
+    template = np.asarray(template, dtype=float)
+    if template.size == 0 or stream.size == 0:
+        raise ValueError("stream and template must be non-empty")
+    corr = sp_signal.fftconvolve(stream, template[::-1], mode="full")
+    # fftconvolve's full output index (len(template)-1) aligns the template
+    # start with stream sample 0.
+    start = template.size - 1
+    out = corr[start : start + stream.size]
+    if out.size < stream.size:
+        out = np.pad(out, (0, stream.size - out.size))
+    return out
+
+
+def normalized_cross_correlation(stream: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Cross-correlation normalised by local stream energy.
+
+    The value at index ``i`` approximates the cosine similarity between
+    the template and the stream window starting at ``i``, so it is
+    comparable across SNRs. Values are clipped to ``[-1, 1]``.
+    """
+    stream = np.asarray(stream, dtype=float)
+    template = np.asarray(template, dtype=float)
+    corr = cross_correlate(stream, template)
+    template_norm = float(np.linalg.norm(template))
+    if template_norm == 0:
+        raise ValueError("template has zero energy")
+    window = np.ones(template.size)
+    local_energy = sp_signal.fftconvolve(stream**2, window, mode="full")
+    local_energy = local_energy[template.size - 1 : template.size - 1 + stream.size]
+    if local_energy.size < stream.size:
+        local_energy = np.pad(local_energy, (0, stream.size - local_energy.size))
+    local_norm = np.sqrt(np.maximum(local_energy, 0.0))
+    denom = template_norm * np.maximum(local_norm, 1e-12)
+    return np.clip(corr / denom, -1.0, 1.0)
+
+
+def segment_autocorrelation(
+    window: np.ndarray, pn_signs, symbol_stride: int, symbol_len: int
+) -> float:
+    """PN-despread inter-segment correlation of one candidate window.
+
+    Parameters
+    ----------
+    window:
+        Stream samples starting at the candidate preamble start; must be
+        at least ``symbol_stride * len(pn_signs)`` long.
+    pn_signs:
+        The PN sign sequence of the preamble.
+    symbol_stride:
+        Samples between consecutive symbol starts (n_fft + cp_len).
+    symbol_len:
+        Length of the symbol body used for correlation (n_fft).
+
+    Returns
+    -------
+    float
+        Mean pairwise normalised correlation between despread segments,
+        in ``[-1, 1]``. Close to 1 for a genuine preamble.
+    """
+    window = np.asarray(window, dtype=float)
+    signs = list(pn_signs)
+    needed = symbol_stride * len(signs)
+    if window.size < needed:
+        raise ValueError(
+            f"window too short for autocorrelation: {window.size} < {needed}"
+        )
+    segments = []
+    for idx, sign in enumerate(signs):
+        start = idx * symbol_stride
+        seg = sign * window[start : start + symbol_len]
+        norm = np.linalg.norm(seg)
+        if norm <= 1e-12:
+            return 0.0
+        segments.append(seg / norm)
+    total = 0.0
+    count = 0
+    for a in range(len(segments)):
+        for b in range(a + 1, len(segments)):
+            total += float(np.dot(segments[a], segments[b]))
+            count += 1
+    return total / count
+
+
+def sliding_autocorrelation(
+    stream: np.ndarray,
+    candidates,
+    pn_signs,
+    symbol_stride: int,
+    symbol_len: int,
+) -> np.ndarray:
+    """Evaluate :func:`segment_autocorrelation` at each candidate offset.
+
+    Offsets too close to the end of the stream score 0.
+    """
+    stream = np.asarray(stream, dtype=float)
+    needed = symbol_stride * len(list(pn_signs))
+    scores = np.zeros(len(candidates))
+    for i, start in enumerate(candidates):
+        start = int(start)
+        if start < 0 or start + needed > stream.size:
+            continue
+        scores[i] = segment_autocorrelation(
+            stream[start : start + needed], pn_signs, symbol_stride, symbol_len
+        )
+    return scores

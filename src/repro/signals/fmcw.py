@@ -1,0 +1,123 @@
+"""FMCW waveform and dechirp processing (CAT-style baseline).
+
+CAT [Mao et al. 2016] estimates range by mixing the received FMCW sweep
+with the transmitted sweep; the beat frequency of the mixed signal is
+proportional to the propagation delay. We reproduce that receiver so the
+paper's Fig. 12 comparison can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
+from repro.signals.chirp import linear_chirp
+
+
+@dataclass(frozen=True)
+class FmcwConfig:
+    """FMCW sweep parameters.
+
+    Attributes
+    ----------
+    duration_s:
+        Sweep duration in seconds.
+    f_start_hz / f_end_hz:
+        Sweep band edges.
+    sample_rate:
+        Audio sampling rate.
+    """
+
+    duration_s: float
+    f_start_hz: float = BAND_LOW_HZ
+    f_end_hz: float = BAND_HIGH_HZ
+    sample_rate: float = SAMPLE_RATE
+
+    @property
+    def bandwidth_hz(self) -> float:
+        return abs(self.f_end_hz - self.f_start_hz)
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Sweep rate ``B / T`` in Hz per second."""
+        return self.bandwidth_hz / self.duration_s
+
+    @property
+    def num_samples(self) -> int:
+        return int(round(self.duration_s * self.sample_rate))
+
+
+def fmcw_waveform(config: FmcwConfig) -> np.ndarray:
+    """The transmitted FMCW sweep (an untapered linear chirp)."""
+    return linear_chirp(
+        config.duration_s,
+        config.f_start_hz,
+        config.f_end_hz,
+        config.sample_rate,
+        window=None,
+    )
+
+
+def dechirp(received: np.ndarray, config: FmcwConfig) -> np.ndarray:
+    """Mix a received window with the reference sweep and FFT the beat.
+
+    Parameters
+    ----------
+    received:
+        Window of microphone samples, at least one sweep long; only the
+        first sweep-length samples are used.
+    config:
+        The sweep parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Magnitude spectrum of the mixed (beat) signal; the dominant bin
+        index maps to delay via :func:`beat_bin_to_delay`.
+    """
+    ref = fmcw_waveform(config)
+    n = ref.size
+    rx = np.asarray(received, dtype=float)
+    if rx.size < n:
+        raise ValueError(f"received window too short: {rx.size} < {n}")
+    mixed = rx[:n] * ref
+    spectrum = np.abs(np.fft.rfft(mixed * np.hanning(n)))
+    return spectrum
+
+
+def beat_bin_to_delay(bin_index: int, config: FmcwConfig) -> float:
+    """Convert a beat-spectrum bin index to a propagation delay (s)."""
+    n = config.num_samples
+    beat_hz = bin_index * config.sample_rate / n
+    return beat_hz / config.slope_hz_per_s
+
+
+def estimate_delay(
+    received: np.ndarray, config: FmcwConfig, max_delay_s: float = 0.03
+) -> float:
+    """CAT-style delay estimate: the strongest beat-frequency component.
+
+    The search is bounded to physically plausible delays (CAT tracks a
+    window around the expected arrival); ``max_delay_s`` caps the beat
+    frequency considered.
+    """
+    spectrum = dechirp(received, config)
+    # Ignore DC; the beat of interest is low frequency but nonzero.
+    spectrum[0] = 0.0
+    max_beat_hz = max_delay_s * config.slope_hz_per_s
+    bin_hz = config.sample_rate / config.num_samples
+    limit = max(int(max_beat_hz / bin_hz), 2)
+    limit = min(limit, spectrum.size)
+    window = spectrum[:limit]
+    if window.max() <= 0:
+        return 0.0
+    peak_bin = int(np.argmax(window))
+    # Parabolic interpolation around the peak for sub-bin resolution.
+    if 1 <= peak_bin < limit - 1:
+        alpha, beta, gamma = window[peak_bin - 1], window[peak_bin], window[peak_bin + 1]
+        denom = alpha - 2 * beta + gamma
+        if denom != 0:
+            peak_bin = peak_bin + 0.5 * (alpha - gamma) / denom
+    return beat_bin_to_delay(float(peak_bin), config)

@@ -1,0 +1,149 @@
+"""Per-device FSK uplink modem (paper section 2.4).
+
+After a protocol round each device reports its recorded timestamps and
+depth to the leader. The 1-5 kHz band is divided into ``N`` sub-bands,
+one per device, and each device runs binary FSK inside its own band so
+all devices can transmit simultaneously. The payload is protected by a
+rate-2/3 convolutional code (:mod:`repro.signals.coding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    BAND_HIGH_HZ,
+    BAND_LOW_HZ,
+    SAMPLE_RATE,
+    UPLINK_BITRATE_BPS,
+)
+from repro.errors import DecodingError
+from repro.signals.coding import decode_rate_2_3, encode_rate_2_3
+
+
+@dataclass(frozen=True)
+class FskBand:
+    """The frequency sub-band assigned to one device.
+
+    Attributes
+    ----------
+    low_hz / high_hz:
+        Band edges.
+    """
+
+    low_hz: float
+    high_hz: float
+
+    @property
+    def width_hz(self) -> float:
+        return self.high_hz - self.low_hz
+
+    @property
+    def f0_hz(self) -> float:
+        """Tone used for bit 0 (lower quarter of the band)."""
+        return self.low_hz + 0.25 * self.width_hz
+
+    @property
+    def f1_hz(self) -> float:
+        """Tone used for bit 1 (upper quarter of the band)."""
+        return self.low_hz + 0.75 * self.width_hz
+
+
+def assign_bands(
+    group_size: int,
+    band_low_hz: float = BAND_LOW_HZ,
+    band_high_hz: float = BAND_HIGH_HZ,
+) -> List[FskBand]:
+    """Split the acoustic band into one :class:`FskBand` per device."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    width = (band_high_hz - band_low_hz) / group_size
+    return [
+        FskBand(band_low_hz + i * width, band_low_hz + (i + 1) * width)
+        for i in range(group_size)
+    ]
+
+
+@dataclass(frozen=True)
+class FskModem:
+    """Binary FSK modem operating inside one device's band.
+
+    Attributes
+    ----------
+    band:
+        The device's frequency allocation.
+    bit_rate_bps:
+        Post-coding over-the-water bit rate.
+    sample_rate:
+        Audio sampling rate.
+    """
+
+    band: FskBand
+    bit_rate_bps: float = UPLINK_BITRATE_BPS
+    sample_rate: float = SAMPLE_RATE
+
+    @property
+    def samples_per_bit(self) -> int:
+        return int(round(self.sample_rate / self.bit_rate_bps))
+
+    def modulate(self, bits: Sequence[int]) -> np.ndarray:
+        """Waveform for raw (already channel-coded) ``bits``."""
+        bits = [int(b) for b in bits]
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("bits must be 0/1")
+        spb = self.samples_per_bit
+        t = np.arange(spb) / self.sample_rate
+        tone0 = np.sin(2 * np.pi * self.band.f0_hz * t)
+        tone1 = np.sin(2 * np.pi * self.band.f1_hz * t)
+        chunks = [tone1 if b else tone0 for b in bits]
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
+
+    def demodulate(self, samples: np.ndarray, num_bits: int) -> List[float]:
+        """Soft bits (energy ratio) for ``num_bits`` symbols of audio."""
+        x = np.asarray(samples, dtype=float)
+        spb = self.samples_per_bit
+        if x.size < num_bits * spb:
+            raise DecodingError(
+                f"stream too short: need {num_bits * spb} samples, got {x.size}"
+            )
+        t = np.arange(spb) / self.sample_rate
+        ref0_c = np.cos(2 * np.pi * self.band.f0_hz * t)
+        ref0_s = np.sin(2 * np.pi * self.band.f0_hz * t)
+        ref1_c = np.cos(2 * np.pi * self.band.f1_hz * t)
+        ref1_s = np.sin(2 * np.pi * self.band.f1_hz * t)
+        soft: List[float] = []
+        for k in range(num_bits):
+            chunk = x[k * spb : (k + 1) * spb]
+            e0 = np.dot(chunk, ref0_c) ** 2 + np.dot(chunk, ref0_s) ** 2
+            e1 = np.dot(chunk, ref1_c) ** 2 + np.dot(chunk, ref1_s) ** 2
+            total = e0 + e1
+            soft.append(0.5 if total <= 0 else float(e1 / total))
+        return soft
+
+    # ------------------------------------------------------------------
+    # Coded payload helpers
+    # ------------------------------------------------------------------
+
+    def transmit_payload(self, message_bits: Sequence[int]) -> np.ndarray:
+        """Channel-code ``message_bits`` (rate 2/3) and modulate them."""
+        coded = encode_rate_2_3(message_bits)
+        return self.modulate(coded)
+
+    def coded_length(self, num_message_bits: int) -> int:
+        """Number of over-the-water bits for ``num_message_bits``."""
+        return len(encode_rate_2_3([0] * num_message_bits))
+
+    def receive_payload(self, samples: np.ndarray, num_message_bits: int) -> List[int]:
+        """Demodulate and Viterbi-decode a coded payload."""
+        n_coded = self.coded_length(num_message_bits)
+        soft = self.demodulate(samples, n_coded)
+        return decode_rate_2_3(soft, num_message_bits)
+
+    def airtime_s(self, num_message_bits: int) -> float:
+        """Transmission time of a coded payload at this bit rate."""
+        return self.coded_length(num_message_bits) / self.bit_rate_bps

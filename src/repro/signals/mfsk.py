@@ -1,0 +1,98 @@
+"""MFSK device-ID encoding (paper section 2.3, "ID encoding").
+
+The 1-5 kHz band is divided into ``N`` bins, one per device in the dive
+group. Device ``i`` transmits energy only in its own bin; the receiver
+decodes the ID with a maximum-likelihood (max-energy) detector over the
+bins. The paper also lets a device append the ID of the device it
+synchronised to — that composite message is handled at the protocol
+layer by sending two MFSK fields back-to-back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
+from repro.errors import DecodingError
+
+
+def _bin_center_hz(device_id: int, group_size: int, band_low: float, band_high: float) -> float:
+    """Centre frequency of the MFSK bin assigned to ``device_id``."""
+    width = (band_high - band_low) / group_size
+    return band_low + (device_id + 0.5) * width
+
+
+def encode_device_id(
+    device_id: int,
+    group_size: int,
+    duration_s: float = 0.05,
+    sample_rate: float = SAMPLE_RATE,
+    band_low_hz: float = BAND_LOW_HZ,
+    band_high_hz: float = BAND_HIGH_HZ,
+) -> np.ndarray:
+    """Generate the MFSK tone that announces ``device_id``.
+
+    Parameters
+    ----------
+    device_id:
+        ID in ``[0, group_size)`` (the leader is 0).
+    group_size:
+        Number of devices in the dive group (``N``).
+    duration_s:
+        Tone duration.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if not 0 <= device_id < group_size:
+        raise ValueError(f"device_id {device_id} out of range for group {group_size}")
+    n = int(round(duration_s * sample_rate))
+    if n < 2:
+        raise ValueError("duration too short")
+    freq = _bin_center_hz(device_id, group_size, band_low_hz, band_high_hz)
+    t = np.arange(n) / sample_rate
+    tone = np.sin(2 * np.pi * freq * t)
+    # Hann taper to limit leakage into neighbouring ID bins.
+    return tone * np.hanning(n)
+
+
+def decode_device_id(
+    samples: np.ndarray,
+    group_size: int,
+    sample_rate: float = SAMPLE_RATE,
+    band_low_hz: float = BAND_LOW_HZ,
+    band_high_hz: float = BAND_HIGH_HZ,
+    min_snr: float = 2.0,
+) -> int:
+    """Maximum-likelihood decode of an MFSK device ID.
+
+    Integrates spectral energy over each device's bin and returns the
+    argmax. Raises :class:`DecodingError` when the winning bin does not
+    dominate the mean of the others by ``min_snr`` (linear power ratio),
+    which signals a collision or pure noise.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size < 2:
+        raise ValueError("samples too short")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    spectrum = np.abs(np.fft.rfft(x * np.hanning(x.size))) ** 2
+    freqs = np.fft.rfftfreq(x.size, d=1.0 / sample_rate)
+    width = (band_high_hz - band_low_hz) / group_size
+    energies = np.zeros(group_size)
+    for dev in range(group_size):
+        low = band_low_hz + dev * width
+        high = low + width
+        mask = (freqs >= low) & (freqs < high)
+        if not np.any(mask):
+            raise ValueError("FFT resolution too coarse for this group size")
+        energies[dev] = spectrum[mask].sum()
+    winner = int(np.argmax(energies))
+    if group_size > 1:
+        others = np.delete(energies, winner)
+        floor = float(np.mean(others))
+        if floor > 0 and energies[winner] / floor < min_snr:
+            raise DecodingError(
+                f"ambiguous MFSK ID: winner {winner} only "
+                f"{energies[winner] / floor:.2f}x above other bins"
+            )
+    return winner

@@ -1,0 +1,48 @@
+"""Peak and noise-floor utilities shared by the ranging estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NOISE_FLOOR_TAPS
+
+
+def is_peak(index: int, values: np.ndarray) -> bool:
+    """True if ``values[index]`` is a local maximum.
+
+    Boundary samples count as peaks when they exceed their single
+    neighbour; this matches a conservative reading of the paper's
+    ``IsPeak`` predicate.
+    """
+    values = np.asarray(values)
+    n = values.size
+    if not 0 <= index < n:
+        raise IndexError(f"index {index} out of range for length {n}")
+    left_ok = index == 0 or values[index] >= values[index - 1]
+    right_ok = index == n - 1 or values[index] >= values[index + 1]
+    strict = (index > 0 and values[index] > values[index - 1]) or (
+        index < n - 1 and values[index] > values[index + 1]
+    )
+    return bool(left_ok and right_ok and strict)
+
+
+def local_peak_indices(values: np.ndarray, min_height: float = 0.0) -> np.ndarray:
+    """Indices of all local maxima with value above ``min_height``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.array([], dtype=int)
+    candidates = [i for i in range(values.size) if values[i] > min_height and is_peak(i, values)]
+    return np.asarray(candidates, dtype=int)
+
+
+def noise_floor(values: np.ndarray, tail_taps: int = NOISE_FLOOR_TAPS) -> float:
+    """Average power of the trailing taps, used as the channel noise level.
+
+    The paper estimates each microphone channel's noise level from the
+    average power in the last 100 channel taps.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    tail = values[-min(tail_taps, values.size) :]
+    return float(np.mean(np.abs(tail)))

@@ -1,0 +1,48 @@
+"""Simulators tying devices, channel, protocol and localization together.
+
+Two fidelities (see DESIGN.md):
+
+* :mod:`repro.simulate.waveform_sim` — renders real 44.1 kHz audio
+  through the image-method channel and runs the full receiver pipeline;
+  used by the ranging experiments.
+* :mod:`repro.simulate.network_sim` — timestamp-level N-device rounds
+  with a waveform-calibrated ranging-error model; used by the network
+  localization experiments.
+"""
+
+from repro.simulate.scenario import (
+    Scenario,
+    testbed_scenario,
+    analytical_scenario,
+    PointingModel,
+)
+from repro.simulate.waveform_sim import (
+    ExchangeConfig,
+    RangingMeasurement,
+    simulate_reception,
+    one_way_range,
+    two_way_range,
+)
+from repro.simulate.network_sim import (
+    RangingErrorModel,
+    NetworkSimulator,
+    RoundResult,
+)
+from repro.simulate.mobility import LinearBackForthTrajectory, constant_velocity_path
+
+__all__ = [
+    "Scenario",
+    "testbed_scenario",
+    "analytical_scenario",
+    "PointingModel",
+    "ExchangeConfig",
+    "RangingMeasurement",
+    "simulate_reception",
+    "one_way_range",
+    "two_way_range",
+    "RangingErrorModel",
+    "NetworkSimulator",
+    "RoundResult",
+    "LinearBackForthTrajectory",
+    "constant_velocity_path",
+]

@@ -1,0 +1,75 @@
+"""Device mobility: trajectories for the paper's motion experiments.
+
+Fig. 15 moves one phone along a 1D path parallel to the shore at 32 and
+56 cm/s while ranging every second; Fig. 20 moves one network device
+back and forth around its position at 15-50 cm/s during localization
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearBackForthTrajectory:
+    """Back-and-forth motion along a straight horizontal segment.
+
+    Attributes
+    ----------
+    center:
+        Midpoint of the segment (3D).
+    direction:
+        Horizontal unit direction of travel (normalised on use).
+    amplitude_m:
+        Half-length of the segment.
+    speed_mps:
+        Constant speed along the segment.
+    """
+
+    center: np.ndarray
+    direction: np.ndarray
+    amplitude_m: float
+    speed_mps: float
+
+    def position(self, t_s: float) -> np.ndarray:
+        """Position at time ``t_s`` (triangle-wave sweep)."""
+        c = np.asarray(self.center, dtype=float)
+        d = np.asarray(self.direction, dtype=float)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise ValueError("direction must be non-zero")
+        d = d / norm
+        if self.amplitude_m <= 0:
+            return c.copy()
+        period = 4.0 * self.amplitude_m / self.speed_mps
+        phase = (t_s % period) / period  # 0..1
+        # Triangle wave in [-1, 1]: starts at centre moving +.
+        tri = 4.0 * phase
+        if tri < 1.0:
+            offset = tri
+        elif tri < 3.0:
+            offset = 2.0 - tri
+        else:
+            offset = tri - 4.0
+        return c + d * (offset * self.amplitude_m)
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """The trajectory midpoint (the paper's moving-device ground
+        truth for network rounds)."""
+        return np.asarray(self.center, dtype=float)
+
+
+def constant_velocity_path(
+    start: np.ndarray,
+    velocity_mps: np.ndarray,
+    times_s: np.ndarray,
+) -> np.ndarray:
+    """Positions of a constant-velocity device at each requested time."""
+    start = np.asarray(start, dtype=float)
+    vel = np.asarray(velocity_mps, dtype=float)
+    t = np.asarray(times_s, dtype=float)
+    return start[None, :] + t[:, None] * vel[None, :]

@@ -1,0 +1,333 @@
+"""Timestamp-level N-device network simulation.
+
+Runs the full system at per-round granularity: protocol round (with a
+waveform-calibrated ranging-error model), depth sensing, optional
+uplink quantisation, distance-matrix assembly, and the localization
+pipeline. Used by the paper's network experiments (Figs. 6, 18, 19, 20
+and the latency/flipping tables), where rendering hundreds of
+multi-device rounds at audio rate would be needlessly slow.
+
+The error-model defaults are calibrated against
+:mod:`repro.simulate.waveform_sim` runs at the dock environment (see
+EXPERIMENTS.md: the waveform pipeline's per-detection error grows
+roughly linearly with range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.localization.ambiguity import mic_arrival_sign
+from repro.localization.pipeline import LocalizationResult, localize
+from repro.protocol.ranging_matrix import pairwise_distances_from_reports
+from repro.protocol.round import RoundOutcome, run_protocol_round
+from repro.protocol.uplink import (
+    decode_report,
+    encode_report,
+    normalize_report_to_leader_zero,
+)
+from repro.simulate.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RangingErrorModel:
+    """Per-detection arrival-error model (calibrated from waveform runs).
+
+    Attributes
+    ----------
+    base_std_m / std_per_m:
+        Detection error std in metres: ``base + slope * distance``.
+        Pinned to the paper's *field-measured* pairwise errors (medians
+        0.48-0.86 m over 10-35 m): the waveform substrate reproduces the
+        error *growth* with range but is tamer in absolute terms than a
+        real lake, so the network model uses the paper's levels (a
+        conservative superset of the waveform pipeline's behaviour).
+    outlier_prob:
+        Chance a non-occluded detection locks onto a reflection.
+    outlier_bias_m:
+        (low, high) extra metres added by such a wrong lock.
+    occluded_bias_m:
+        (low, high) bias for occluded links (the first *audible* path is
+        a reflection; the paper's Fig. 19a setting).
+    occluded_std_m:
+        Extra jitter on occluded links.
+    loss_prob:
+        Directional packet-loss probability.
+    flip_tdoa_noise_samples:
+        Noise on the dual-mic arrival-offset measurement (in samples at
+        44.1 kHz) used for the left/right flipping vote. A diver near
+        the leader/user-1 line produces a tiny true offset, so its vote
+        flips easily; a diver far off-line is reliable. The default is
+        tuned so the *average* single-voter flip accuracy lands at the
+        paper's 90.1%.
+    """
+
+    base_std_m: float = 0.25
+    std_per_m: float = 0.012
+    outlier_prob: float = 0.01
+    outlier_bias_m: Tuple[float, float] = (2.0, 8.0)
+    occluded_bias_m: Tuple[float, float] = (3.0, 8.0)
+    occluded_std_m: float = 0.8
+    loss_prob: float = 0.02
+    flip_tdoa_noise_samples: float = 1.3
+
+    def detection_error_m(
+        self, distance_m: float, occluded: bool, rng: np.random.Generator
+    ) -> float:
+        """Sample one detection error in metres."""
+        if occluded:
+            return rng.uniform(*self.occluded_bias_m) + rng.normal(
+                0.0, self.occluded_std_m
+            )
+        err = rng.normal(0.0, self.base_std_m + self.std_per_m * distance_m)
+        if rng.random() < self.outlier_prob:
+            err += rng.uniform(*self.outlier_bias_m)
+        return err
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one simulated localization round.
+
+    Attributes
+    ----------
+    result:
+        The localization pipeline output.
+    distances / weights:
+        The measured distance matrix handed to the solver.
+    true_positions_leader_frame:
+        Ground-truth 3D positions with the leader at the origin.
+    errors_2d:
+        Horizontal localization error per device (leader entry is 0).
+    link_distance_to_leader:
+        True distance of each device to the leader (for the paper's
+        per-link-distance breakdown).
+    flip_correct:
+        Whether the flip vote picked the true mirror candidate.
+    protocol:
+        Raw protocol round outcome.
+    """
+
+    result: LocalizationResult
+    distances: np.ndarray
+    weights: np.ndarray
+    true_positions_leader_frame: np.ndarray
+    errors_2d: np.ndarray
+    link_distance_to_leader: np.ndarray
+    flip_correct: bool
+    protocol: RoundOutcome
+
+
+class NetworkSimulator:
+    """Simulate repeated localization rounds over one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        error_model: RangingErrorModel | None = None,
+        rng: Optional[np.random.Generator] = None,
+        quantize_uplink: bool = True,
+        drop_links: Optional[List[Tuple[int, int]]] = None,
+        stress_threshold: Optional[float] = None,
+    ):
+        """Create a simulator.
+
+        Parameters
+        ----------
+        scenario:
+            Device placement and environment.
+        error_model:
+            Ranging-error model (defaults to the dock calibration).
+        quantize_uplink:
+            Round-trip the timestamp reports through the uplink
+            encoding (0.2 m depth, 2-sample timestamps).
+        drop_links:
+            Links to forcibly remove (the Fig. 19b link-removal study);
+            distinct from occlusions, which keep the link but corrupt it.
+        stress_threshold:
+            Override for Algorithm 1's stress threshold; ``np.inf``
+            disables outlier detection entirely (the Fig. 19a ablation).
+        """
+        self.scenario = scenario
+        self.error_model = error_model or RangingErrorModel()
+        self.rng = rng or np.random.default_rng(0)
+        self.quantize_uplink = quantize_uplink
+        self.drop_links = [tuple(sorted(l)) for l in (drop_links or [])]
+        self.stress_threshold = stress_threshold
+
+    # ------------------------------------------------------------------
+
+    def _connectivity(self) -> np.ndarray:
+        conn = self.scenario.connectivity().copy()
+        for i, j in self.drop_links:
+            conn[i, j] = conn[j, i] = False
+        n = conn.shape[0]
+        for i in range(n):
+            for j in range(n):
+                if i != j and conn[i, j] and self.rng.random() < self.error_model.loss_prob:
+                    conn[i, j] = False
+        return conn
+
+    def _arrival_noise(self, receiver: int, sender: int, distance: float, rng) -> float:
+        occluded = self.scenario.is_occluded(receiver, sender)
+        sound_speed = self.scenario.sound_speed()
+        return self.error_model.detection_error_m(distance, occluded, rng) / sound_speed
+
+    def _sensor_depths(self) -> np.ndarray:
+        return np.array(
+            [dev.measure_depth(self.rng) for dev in self.scenario.devices]
+        )
+
+    def _flip_signs(self, pointing_azimuth: float) -> Dict[int, int]:
+        """Dual-mic arrival-order signs observed by the leader.
+
+        The underlying measurement is the tap offset between the two
+        microphones (at most ~4.8 samples for 16 cm at 44.1 kHz). We add
+        Gaussian tap noise and take the sign, so divers near the
+        leader/user-1 line — whose true offset is small — flip their
+        vote more often, exactly as multipath does in the real system.
+        """
+        leader = self.scenario.devices[0]
+        # The leader faces the pointed diver; its lateral mic pair is
+        # perpendicular to that azimuth.
+        leader_oriented = leader.moved_to(leader.position)
+        leader_oriented.azimuth_rad = pointing_azimuth
+        left, right = leader_oriented.mic_positions(lateral=True)
+        fs = 44_100.0
+        sound_speed = self.scenario.sound_speed()
+        signs: Dict[int, int] = {}
+        for dev in self.scenario.devices[2:]:
+            d_left = float(np.linalg.norm(dev.position - left))
+            d_right = float(np.linalg.norm(dev.position - right))
+            true_offset_samples = (d_left - d_right) / sound_speed * fs
+            noisy = true_offset_samples + self.rng.normal(
+                0.0, self.error_model.flip_tdoa_noise_samples
+            )
+            sign = int(np.sign(noisy))
+            if sign == 0:
+                continue
+            signs[dev.device_id] = sign
+        return signs
+
+    # ------------------------------------------------------------------
+
+    def run_round(self, flip_voters: Optional[int] = None) -> RoundResult:
+        """Execute one full round and localize.
+
+        Parameters
+        ----------
+        flip_voters:
+            Limit the number of divers contributing flip votes (the
+            paper's 1-voter vs 3-voter study); ``None`` uses all.
+        """
+        scenario = self.scenario
+        n = scenario.num_devices
+        sound_speed = scenario.sound_speed()
+        true_d = scenario.true_distances()
+        conn = self._connectivity()
+        clocks = [dev.clock for dev in scenario.devices]
+
+        outcome = run_protocol_round(
+            true_d,
+            conn,
+            sound_speed,
+            clocks=clocks,
+            depths=scenario.depths,
+            arrival_noise=self._arrival_noise,
+            rng=self.rng,
+        )
+
+        sensor_depths = self._sensor_depths()
+        reports = []
+        for dev_id, report in outcome.reports.items():
+            report.depth_m = float(sensor_depths[dev_id])
+            if self.quantize_uplink and dev_id != 0:
+                normalized, ok = normalize_report_to_leader_zero(report, n)
+                if ok:
+                    bits = encode_report(normalized, n)
+                    report = decode_report(bits, dev_id, n)
+            reports.append(report)
+
+        distances, weights = pairwise_distances_from_reports(reports, sound_speed)
+        measured_depths = np.array(
+            [
+                next(
+                    (r.depth_m for r in reports if r.device_id == i),
+                    float(sensor_depths[i]),
+                )
+                for i in range(n)
+            ]
+        )
+
+        true_azimuth = scenario.true_pointing_azimuth()
+        pointing = scenario.pointing.sample_azimuth(true_azimuth, self.rng)
+        arrival_signs = self._flip_signs(pointing)
+        if flip_voters is not None:
+            keys = sorted(arrival_signs)[:flip_voters]
+            arrival_signs = {k: arrival_signs[k] for k in keys}
+
+        nan_mask = ~np.isfinite(distances)
+        distances = np.where(nan_mask, 0.0, distances)
+        weights = np.where(nan_mask, 0.0, weights)
+
+        result = localize(
+            distances,
+            measured_depths,
+            pointing_azimuth_rad=pointing,
+            arrival_signs=arrival_signs,
+            weights=weights,
+            stress_threshold=self.stress_threshold,
+            rng=self.rng,
+        )
+
+        true_leader_frame = scenario.positions - scenario.positions[0]
+        errors = np.linalg.norm(
+            result.positions2d - true_leader_frame[:, :2], axis=1
+        )
+        errors[0] = 0.0
+
+        # Flip correctness: did the vote pick the candidate closer to truth?
+        from repro.localization.ambiguity import flip_candidates
+
+        original, mirrored = flip_candidates(result.positions2d)
+        err_orig = np.linalg.norm(original - true_leader_frame[:, :2], axis=1)[2:].sum()
+        err_mirr = np.linalg.norm(mirrored - true_leader_frame[:, :2], axis=1)[2:].sum()
+        flip_correct = bool(err_orig <= err_mirr)
+
+        return RoundResult(
+            result=result,
+            distances=distances,
+            weights=weights,
+            true_positions_leader_frame=true_leader_frame,
+            errors_2d=errors,
+            link_distance_to_leader=true_d[0],
+            flip_correct=flip_correct,
+            protocol=outcome,
+        )
+
+    def run_many(
+        self,
+        num_rounds: int,
+        flip_voters: Optional[int] = None,
+        skip_failures: bool = True,
+    ) -> List[RoundResult]:
+        """Run several independent rounds (errors re-drawn each time).
+
+        Rounds that cannot be localized — e.g. packet losses disconnect
+        the measurement graph — are skipped when ``skip_failures`` is
+        True (the real leader would simply re-run the protocol), so the
+        returned list may be shorter than ``num_rounds``.
+        """
+        from repro.errors import LocalizationError
+
+        results = []
+        for _ in range(num_rounds):
+            try:
+                results.append(self.run_round(flip_voters=flip_voters))
+            except LocalizationError:
+                if not skip_failures:
+                    raise
+        return results

@@ -1,0 +1,200 @@
+"""Deployment scenarios: device placements in named environments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.environment import ENVIRONMENTS, Environment
+from repro.devices.device import Device, make_device
+from repro.devices.models import SAMSUNG_S9, DeviceModel
+from repro.errors import ConfigurationError
+from repro.geometry.transforms import angle_of
+
+
+@dataclass(frozen=True)
+class PointingModel:
+    """How accurately the leader points at the visible diver.
+
+    The paper's human study (Fig. 16) found a mean pointing error of
+    about 5 degrees across users and distances; we model the error as
+    zero-mean Gaussian with that scale.
+    """
+
+    error_std_deg: float = 5.0
+
+    def sample_azimuth(
+        self, true_azimuth_rad: float, rng: np.random.Generator
+    ) -> float:
+        """A noisy pointing azimuth around the true direction."""
+        return true_azimuth_rad + np.deg2rad(rng.normal(0.0, self.error_std_deg))
+
+
+@dataclass
+class Scenario:
+    """A full deployment: environment + devices + leader pointing.
+
+    Attributes
+    ----------
+    environment:
+        The water body.
+    devices:
+        Device list; index 0 is the leader, index 1 the pointed diver.
+    pointing:
+        The leader's pointing accuracy model.
+    occluded_links:
+        Pairs whose direct path is blocked.
+    max_range_m:
+        Acoustic range limit; longer links are disconnected.
+    """
+
+    environment: Environment
+    devices: List[Device]
+    pointing: PointingModel = field(default_factory=PointingModel)
+    occluded_links: List[Tuple[int, int]] = field(default_factory=list)
+    max_range_m: float = 32.0
+
+    def __post_init__(self):
+        if len(self.devices) < 2:
+            raise ConfigurationError("scenario needs at least 2 devices")
+        ids = [d.device_id for d in self.devices]
+        if ids != list(range(len(ids))):
+            raise ConfigurationError("devices must be ordered by id 0..N-1")
+        depth_limit = self.environment.water_depth_m
+        for dev in self.devices:
+            if not 0 <= dev.depth_m <= depth_limit:
+                raise ConfigurationError(
+                    f"device {dev.device_id} depth {dev.depth_m} outside water column"
+                )
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """(N, 3) true positions."""
+        return np.vstack([d.position for d in self.devices])
+
+    @property
+    def depths(self) -> np.ndarray:
+        """True depths of all devices."""
+        return self.positions[:, 2]
+
+    def true_distances(self) -> np.ndarray:
+        """True pairwise 3D distance matrix."""
+        pts = self.positions
+        diff = pts[:, None, :] - pts[None, :, :]
+        return np.linalg.norm(diff, axis=-1)
+
+    def true_pointing_azimuth(self) -> float:
+        """World azimuth from the leader to the pointed diver (user 1)."""
+        rel = self.devices[1].position[:2] - self.devices[0].position[:2]
+        return angle_of(rel)
+
+    def connectivity(self) -> np.ndarray:
+        """Boolean in-range matrix (occlusions stay connected: the
+        devices still hear each other through reflections)."""
+        d = self.true_distances()
+        conn = d <= self.max_range_m
+        np.fill_diagonal(conn, False)
+        return conn
+
+    def is_occluded(self, i: int, j: int) -> bool:
+        """Whether the (i, j) direct path is blocked."""
+        pair = (min(i, j), max(i, j))
+        return any((min(a, b), max(a, b)) == pair for a, b in self.occluded_links)
+
+    def sound_speed(self) -> float:
+        """Sound speed at the mean device depth."""
+        return self.environment.sound_speed(float(np.mean(self.depths)))
+
+
+def testbed_scenario(
+    environment: str | Environment,
+    num_devices: int = 5,
+    rng: Optional[np.random.Generator] = None,
+    model: DeviceModel = SAMSUNG_S9,
+    min_link_m: float = 3.0,
+    max_link_m: float = 25.0,
+    occluded_links: Optional[List[Tuple[int, int]]] = None,
+) -> Scenario:
+    """A testbed layout like the paper's Fig. 17 deployments.
+
+    The paper chose topologies whose *pairwise* distances span 3-25 m —
+    i.e. every pair of devices is within acoustic range, not just the
+    leader's links. Positions are rejection-sampled until all pairwise
+    distances fall inside ``[min_link_m / 2, max_link_m]``; user 1 is
+    placed close to the leader (it must be visible). Depths are drawn
+    within the water column.
+    """
+    env = ENVIRONMENTS[environment] if isinstance(environment, str) else environment
+    rng = rng or np.random.default_rng(0)
+    if num_devices < 3:
+        raise ConfigurationError("testbed needs at least 3 devices")
+
+    depth_hi = min(env.water_depth_m, 3.0)
+    devices: List[Device] = []
+    leader_pos = np.array([0.0, 0.0, rng.uniform(0.5, depth_hi)])
+    devices.append(make_device(0, leader_pos, rng, model=model))
+
+    # User 1 close to the leader (4-9 m), remaining users spread out to
+    # max_link_m, all inside the site's horizontal extent, with every
+    # pairwise distance inside the acoustic range.
+    horizontal_cap = min(max_link_m, env.length_m / 2.0)
+    min_separation = max(min_link_m / 2.0, 1.5)
+    placed = [leader_pos]
+    for i in range(1, num_devices):
+        for _attempt in range(200):
+            if i == 1:
+                radius = rng.uniform(4.0, min(9.0, horizontal_cap))
+            else:
+                radius = rng.uniform(min_link_m, horizontal_cap)
+            azimuth = rng.uniform(0, 2 * np.pi)
+            pos = leader_pos + np.array(
+                [radius * np.cos(azimuth), radius * np.sin(azimuth), 0.0]
+            )
+            pos[2] = rng.uniform(0.5, depth_hi)
+            gaps = [float(np.linalg.norm(pos[:2] - p[:2])) for p in placed]
+            if min(gaps) >= min_separation and max(gaps) <= max_link_m:
+                break
+        placed.append(pos)
+        devices.append(make_device(i, pos, rng, model=model))
+
+    return Scenario(
+        environment=env,
+        devices=devices,
+        occluded_links=list(occluded_links or []),
+    )
+
+
+def analytical_scenario(
+    num_devices: int,
+    rng: np.random.Generator,
+    area_xy: float = 60.0,
+    depth_range: float = 10.0,
+) -> Scenario:
+    """The paper's section 2.1.5 analytical setup (60 x 60 x 10 m).
+
+    Uses a deep synthetic environment whose water column covers the
+    10 m depth range; devices use ideal placement (no model noise — the
+    analytical evaluation injects its own uniform errors).
+    """
+    from repro.channel.environment import DOCK
+    from repro.geometry.topology import random_scenario_positions
+
+    env = Environment(
+        name="analytical",
+        water_depth_m=depth_range,
+        length_m=area_xy,
+        water=DOCK.water,
+        bottom_coeff=DOCK.bottom_coeff,
+        noise=DOCK.noise,
+    )
+    positions = random_scenario_positions(
+        num_devices, rng, area_xy=area_xy, depth_range=depth_range
+    )
+    devices = [make_device(i, positions[i], rng) for i in range(num_devices)]
+    return Scenario(environment=env, devices=devices, max_range_m=np.inf)

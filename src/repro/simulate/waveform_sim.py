@@ -1,0 +1,390 @@
+"""Waveform-level simulation of acoustic exchanges between two devices.
+
+Renders real 44.1 kHz audio end to end: preamble -> image-method
+multipath (per microphone, including the waterproof-case reflections and
+speaker/mic directivity) -> site + hardware noise -> the full receiver
+pipeline (detection, LS channel estimation, dual-mic direct-path
+search). This is the substrate for the paper's ranging benchmarks
+(Figs. 11-15, 22) and for calibrating the timestamp-level error model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.channel.multipath import PathTap, image_method_taps
+from repro.channel.noise import make_noise
+from repro.channel.occlusion import Occlusion, apply_occlusion
+from repro.channel.render import apply_channel, directivity_gain
+from repro.devices.models import SAMSUNG_S9, DeviceModel
+from repro.ranging.detector import DetectionConfig
+from repro.ranging.pairwise import ArrivalEstimate, estimate_arrival
+from repro.signals.preamble import Preamble, make_preamble
+
+
+@dataclass(frozen=True)
+class ExchangeConfig:
+    """Static configuration of a two-device acoustic exchange.
+
+    Attributes
+    ----------
+    environment:
+        The water body.
+    tx_model / rx_model:
+        Hardware profiles of the two devices.
+    tx_azimuth_rad / tx_polar_rad:
+        Orientation of the transmitter's device axis (polar pi/2 =
+        horizontal; the paper's "faces upward" case is polar 0).
+    rx_azimuth_rad / rx_polar_rad:
+        Receiver orientation; also defines the microphone axis.
+    guard_s:
+        Silence rendered before the transmission (lets the detector see
+        a noise-only preface).
+    amplitude:
+        Speaker amplitude (1.0 = max volume).
+    occlusion:
+        Optional direct-path obstruction.
+    sound_speed_error_std:
+        Relative uncertainty of the sound speed: each exchange's *actual*
+        propagation speed deviates from the receiver's assumed speed by
+        this relative std (temperature/salinity mis-configuration; the
+        paper bounds the effect at ~2%). This converts directly into a
+        ranging error proportional to distance.
+    """
+
+    environment: Environment
+    tx_model: DeviceModel = SAMSUNG_S9
+    rx_model: DeviceModel = SAMSUNG_S9
+    tx_azimuth_rad: float = 0.0
+    tx_polar_rad: float = np.pi / 2
+    rx_azimuth_rad: float = np.pi
+    rx_polar_rad: float = np.pi / 2
+    guard_s: float = 0.05
+    amplitude: float = 1.0
+    occlusion: Optional[Occlusion] = None
+    sound_speed_error_std: float = 0.009
+    detection: DetectionConfig = field(default_factory=DetectionConfig)
+
+
+@dataclass(frozen=True)
+class RangingMeasurement:
+    """One simulated ranging attempt.
+
+    Attributes
+    ----------
+    true_distance_m:
+        Ground-truth distance between device centres.
+    estimated_distance_m:
+        The pipeline's estimate (NaN when detection failed).
+    detected:
+        Whether the preamble was found at all.
+    arrival:
+        The raw arrival estimate, when available.
+    """
+
+    true_distance_m: float
+    estimated_distance_m: float
+    detected: bool
+    arrival: Optional[ArrivalEstimate] = None
+
+    @property
+    def error_m(self) -> float:
+        """Signed ranging error (NaN when undetected)."""
+        return self.estimated_distance_m - self.true_distance_m
+
+
+def _with_case_multipath(taps: Sequence[PathTap], model: DeviceModel) -> List[PathTap]:
+    """Each arrival spawns a trailing reflection inside the waterproof case."""
+    out = list(taps)
+    for tap in taps:
+        out.append(
+            PathTap(
+                delay_s=tap.delay_s + model.case_multipath_delay_s,
+                amplitude=tap.amplitude * model.case_multipath_amp,
+                surface_bounces=tap.surface_bounces,
+                bottom_bounces=tap.bottom_bounces,
+            )
+        )
+    out.sort(key=lambda t: t.delay_s)
+    return out
+
+
+def _directivity_scaled(
+    taps: Sequence[PathTap],
+    config: ExchangeConfig,
+    tx_pos: np.ndarray,
+    rx_pos: np.ndarray,
+    water_depth_m: float,
+) -> List[PathTap]:
+    """Scale taps by speaker directivity at their *departure* angles.
+
+    The direct path leaves towards the receiver; a first-order surface
+    (bottom) bounce leaves towards the receiver's mirror image above the
+    surface (below the bottom). A speaker pointing up therefore beams
+    *into* the surface bounce while starving the direct path — exactly
+    the mechanism behind the paper's worst-case "device faces upward"
+    result (Fig. 14a). Higher-order paths are left unscaled: their
+    departure angles spread widely and their total energy is small.
+    """
+
+    def tx_gain_towards(target: np.ndarray) -> float:
+        rel = target - tx_pos
+        horiz = np.hypot(rel[0], rel[1])
+        azimuth = float(np.arctan2(rel[1], rel[0]))
+        polar = float(np.arctan2(horiz, rel[2]))  # from +z (down)
+        return directivity_gain(
+            config.tx_azimuth_rad,
+            config.tx_polar_rad,
+            azimuth,
+            polar,
+            backlobe_gain=0.45,
+            exponent=1.0,
+        )
+
+    # Receiver gain towards the transmitter (applied once to all taps:
+    # microphones are far less directional than the speaker).
+    rel_back = tx_pos - rx_pos
+    horiz_back = np.hypot(rel_back[0], rel_back[1])
+    g_rx = directivity_gain(
+        config.rx_azimuth_rad,
+        config.rx_polar_rad,
+        float(np.arctan2(rel_back[1], rel_back[0])),
+        float(np.arctan2(horiz_back, rel_back[2])),
+        backlobe_gain=0.5,
+        exponent=1.0,
+    )
+
+    surface_image = np.array([rx_pos[0], rx_pos[1], -rx_pos[2]])
+    bottom_image = np.array([rx_pos[0], rx_pos[1], 2 * water_depth_m - rx_pos[2]])
+
+    out = []
+    for tap in taps:
+        bounces = (tap.surface_bounces, tap.bottom_bounces)
+        if tap.is_direct:
+            gain = tx_gain_towards(rx_pos) * g_rx
+        elif bounces == (1, 0):
+            gain = tx_gain_towards(surface_image) * g_rx
+        elif bounces == (0, 1):
+            gain = tx_gain_towards(bottom_image) * g_rx
+        else:
+            gain = g_rx
+        out.append(
+            PathTap(
+                delay_s=tap.delay_s,
+                amplitude=tap.amplitude * gain,
+                surface_bounces=tap.surface_bounces,
+                bottom_bounces=tap.bottom_bounces,
+            )
+        )
+    return out
+
+
+def _channel_fluctuation(
+    taps: Sequence[PathTap],
+    distance_m: float,
+    rng: np.random.Generator,
+    base_sigma_db: float = 1.5,
+    sigma_db_per_m: float = 0.05,
+    delay_jitter_samples: float = 0.5,
+    sample_rate: float = 44_100.0,
+) -> List[PathTap]:
+    """Per-reception scintillation of the multipath taps.
+
+    Underwater channels fluctuate between transmissions: thermal
+    microstructure, surface motion and suspended particles modulate each
+    eigenray's amplitude (log-normal fading) and arrival time slightly.
+    Fluctuation accumulates with path length, so longer links fade more
+    — this is what makes ranging error grow with separation (paper
+    Fig. 11a) even though the geometry is fixed.
+    """
+    sigma_db = base_sigma_db + sigma_db_per_m * distance_m
+    out = []
+    for tap in taps:
+        gain_db = rng.normal(0.0, sigma_db)
+        jitter_s = rng.normal(0.0, delay_jitter_samples / sample_rate)
+        out.append(
+            PathTap(
+                delay_s=max(tap.delay_s + jitter_s, 0.0),
+                amplitude=tap.amplitude * 10.0 ** (gain_db / 20.0),
+                surface_bounces=tap.surface_bounces,
+                bottom_bounces=tap.bottom_bounces,
+            )
+        )
+    out.sort(key=lambda t: t.delay_s)
+    return out
+
+
+def _rx_mic_positions(config: ExchangeConfig, rx_pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Bottom/top microphone positions along the receiver's axis."""
+    axis = np.array(
+        [
+            np.sin(config.rx_polar_rad) * np.cos(config.rx_azimuth_rad),
+            np.sin(config.rx_polar_rad) * np.sin(config.rx_azimuth_rad),
+            np.cos(config.rx_polar_rad),
+        ]
+    )
+    half = config.rx_model.mic_separation_m / 2.0
+    return rx_pos - half * axis, rx_pos + half * axis
+
+
+def simulate_reception(
+    preamble: Preamble,
+    tx_pos,
+    rx_pos,
+    config: ExchangeConfig,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Render the two microphone streams of one reception.
+
+    Returns
+    -------
+    (mic1, mic2, guard_samples, true_arrival_index)
+        The two streams, the number of leading silence samples, and the
+        exact (fractional) stream index at which the direct path reached
+        microphone 1.
+    """
+    env = config.environment
+    fs = preamble.config.ofdm.sample_rate
+    tx = np.asarray(tx_pos, dtype=float)
+    rx = np.asarray(rx_pos, dtype=float)
+    # The *actual* session sound speed deviates from the receiver's
+    # configured value; the receiver never learns the deviation.
+    nominal_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
+    sound_speed = nominal_speed * (
+        1.0 + rng.normal(0.0, config.sound_speed_error_std)
+    )
+    guard = int(config.guard_s * fs)
+    mic_positions = _rx_mic_positions(config, rx)
+
+    streams = []
+    true_arrival = None
+    # One fluctuation realisation per reception, shared by both mics:
+    # they are 16 cm apart and see the same eigenrays.
+    fluctuation_seed = int(rng.integers(0, 2**32))
+    for mic_index, mic_pos in enumerate(mic_positions):
+        taps = image_method_taps(
+            tx,
+            mic_pos,
+            env.water_depth_m,
+            sound_speed,
+            max_order=env.max_image_order,
+            surface_coeff=env.surface_coeff,
+            bottom_coeff=env.bottom_coeff,
+        )
+        if config.occlusion is not None:
+            taps = apply_occlusion(taps, config.occlusion)
+        taps = _directivity_scaled(taps, config, tx, mic_pos, env.water_depth_m)
+        if mic_index == 0:
+            direct = min(taps, key=lambda t: t.delay_s if t.is_direct else np.inf)
+            true_arrival = guard + direct.delay_s * fs
+        distance = float(np.linalg.norm(mic_pos - tx))
+        taps = _channel_fluctuation(
+            taps, distance, np.random.default_rng(fluctuation_seed), sample_rate=fs
+        )
+        taps = _with_case_multipath(taps, config.rx_model)
+        wave = config.amplitude * config.tx_model.source_level * preamble.waveform
+        tail = int(0.08 * fs)
+        body = apply_channel(wave, taps, fs, output_length=len(preamble) + int(
+            max(t.delay_s for t in taps) * fs
+        ) + tail)
+        stream = np.concatenate([np.zeros(guard), body])
+        noise = make_noise(stream.size, env.noise, rng, fs)
+        hw_noise = config.rx_model.mic_noise_rms[mic_index] * rng.standard_normal(
+            stream.size
+        )
+        streams.append(stream + noise + hw_noise)
+    n = min(s.size for s in streams)
+    return streams[0][:n], streams[1][:n], guard, float(true_arrival)
+
+
+def one_way_range(
+    preamble: Preamble,
+    tx_pos,
+    rx_pos,
+    config: ExchangeConfig,
+    rng: np.random.Generator,
+) -> RangingMeasurement:
+    """One transmit-and-detect ranging attempt with a shared timebase.
+
+    Matches the paper's controlled benchmark setting: the transmit
+    instant is known, so the estimate reduces to arrival detection.
+    """
+    fs = preamble.config.ofdm.sample_rate
+    env = config.environment
+    tx = np.asarray(tx_pos, dtype=float)
+    rx = np.asarray(rx_pos, dtype=float)
+    sound_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
+    mic1, mic2, guard, _true_idx = simulate_reception(preamble, tx, rx, config, rng)
+    true_distance = float(np.linalg.norm(rx - tx))
+    estimate = estimate_arrival(
+        mic1,
+        mic2,
+        preamble,
+        mic_separation_m=config.rx_model.mic_separation_m,
+        sound_speed=sound_speed,
+        detection_config=config.detection,
+    )
+    if estimate is None:
+        return RangingMeasurement(true_distance, float("nan"), detected=False)
+    # Distance from tx instant (sample `guard`) to the mic-1 direct path,
+    # corrected to the device centre (mic 1 is half a separation off).
+    mic1_pos = _rx_mic_positions(config, rx)[0]
+    mic1_true = float(np.linalg.norm(mic1_pos - tx))
+    est_mic1 = (estimate.arrival_index - guard) / fs * sound_speed
+    est_center = est_mic1 + (true_distance - mic1_true)
+    return RangingMeasurement(
+        true_distance, float(est_center), detected=True, arrival=estimate
+    )
+
+
+def two_way_range(
+    preamble: Preamble,
+    pos_a,
+    pos_b,
+    config_ab: ExchangeConfig,
+    config_ba: ExchangeConfig,
+    rng: np.random.Generator,
+    reply_delay_s: float = 0.6,
+) -> RangingMeasurement:
+    """Round-trip ranging without a shared clock (BeepBeep-style).
+
+    Device A transmits; B detects (with error), replies a nominal
+    ``reply_delay_s`` later through its (self-calibrated) audio buffers;
+    A detects the reply. The estimate combines both detection errors
+    plus the residual buffer-timing error — the full two-way error
+    budget of the real system.
+    """
+    env = config_ab.environment
+    fs = preamble.config.ofdm.sample_rate
+    a = np.asarray(pos_a, dtype=float)
+    b = np.asarray(pos_b, dtype=float)
+    sound_speed = env.sound_speed(float((a[2] + b[2]) / 2))
+    true_distance = float(np.linalg.norm(b - a))
+
+    forward = one_way_range(preamble, a, b, config_ab, rng)
+    backward = one_way_range(preamble, b, a, config_ba, rng)
+    if not (forward.detected and backward.detected):
+        return RangingMeasurement(true_distance, float("nan"), detected=False)
+
+    err_forward = forward.error_m / sound_speed
+    err_backward = backward.error_m / sound_speed
+    # B's reply timing error through its audio buffers (Eq. 6): tiny but
+    # modelled. Random mic index stands in for the time since calibration.
+    from repro.devices.audio_io import AudioStreams
+
+    streams_b = AudioStreams(
+        alpha_ppm=float(rng.uniform(-80, 80)), beta_ppm=float(rng.uniform(-80, 80))
+    )
+    calibration = streams_b.calibrate()
+    reply_error = streams_b.reply_timing_error(
+        arrival_mic_index=float(rng.uniform(0, fs * 30)),
+        desired_reply_s=reply_delay_s,
+        calibration=calibration,
+    )
+    round_trip = 2 * true_distance / sound_speed + err_forward + err_backward + reply_error
+    estimated = sound_speed * round_trip / 2.0
+    return RangingMeasurement(true_distance, float(estimated), detected=True)

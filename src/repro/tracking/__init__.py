@@ -1,0 +1,16 @@
+"""Continuous tracking: the paper's section-5 future-work extension.
+
+The published system is user-initiated: one protocol round, one set of
+positions. Section 5 sketches the next step — "a continuous tracking
+system that could potentially perform sensor fusion with other sensors,
+without continuous use of acoustics". This subpackage implements that
+sketch: a per-diver constant-velocity Kalman filter fuses sparse
+acoustic localization rounds (accurate but seconds apart, to limit
+audible signalling) with the depth sensor's much faster readings,
+yielding smoothed tracks and predicted positions between rounds.
+"""
+
+from repro.tracking.kalman import KalmanTrack2D
+from repro.tracking.tracker import GroupTracker, TrackEstimate
+
+__all__ = ["KalmanTrack2D", "GroupTracker", "TrackEstimate"]

@@ -1,0 +1,113 @@
+"""Constant-velocity Kalman filter for one diver's horizontal track.
+
+State is ``[x, y, vx, vy]``; acoustic localization rounds provide
+position observations every few seconds. Divers swim below ~0.6 m/s
+(the paper's mobility studies use 15-56 cm/s), so a constant-velocity
+model with moderate process noise fits well between rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class KalmanTrack2D:
+    """A 2D constant-velocity Kalman filter.
+
+    Attributes
+    ----------
+    process_accel_std:
+        Standard deviation of the white acceleration driving the model
+        (m/s^2). Swimmers manoeuvre gently; ~0.2 m/s^2 is generous.
+    measurement_std:
+        Default position-observation noise (m); per-update overrides
+        are supported because far-from-leader fixes are noisier.
+    max_speed:
+        Velocity estimates are clamped to this magnitude (divers do not
+        exceed ~1.5 m/s; the clamp stops a bad fix from slingshotting
+        the prediction).
+    """
+
+    process_accel_std: float = 0.2
+    measurement_std: float = 1.0
+    max_speed: float = 1.5
+    state: np.ndarray = field(default_factory=lambda: np.zeros(4))
+    covariance: np.ndarray = field(default_factory=lambda: np.eye(4) * 1e3)
+    initialized: bool = False
+
+    # ------------------------------------------------------------------
+
+    def predict(self, dt_s: float) -> None:
+        """Advance the state by ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if not self.initialized or dt_s == 0:
+            return
+        f = np.eye(4)
+        f[0, 2] = dt_s
+        f[1, 3] = dt_s
+        q_std = self.process_accel_std
+        # Discrete white-noise acceleration model.
+        dt2, dt3, dt4 = dt_s**2, dt_s**3, dt_s**4
+        q = q_std**2 * np.array(
+            [
+                [dt4 / 4, 0, dt3 / 2, 0],
+                [0, dt4 / 4, 0, dt3 / 2],
+                [dt3 / 2, 0, dt2, 0],
+                [0, dt3 / 2, 0, dt2],
+            ]
+        )
+        self.state = f @ self.state
+        self.covariance = f @ self.covariance @ f.T + q
+        self._clamp_speed()
+
+    def update(self, position_xy, measurement_std: float | None = None) -> None:
+        """Fuse one position observation."""
+        z = np.asarray(position_xy, dtype=float)
+        if z.shape != (2,):
+            raise ValueError("position_xy must be a 2-vector")
+        if not self.initialized:
+            self.state = np.array([z[0], z[1], 0.0, 0.0])
+            self.covariance = np.diag(
+                [self.measurement_std**2, self.measurement_std**2, 0.25, 0.25]
+            )
+            self.initialized = True
+            return
+        r_std = self.measurement_std if measurement_std is None else measurement_std
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+        r = np.eye(2) * r_std**2
+        innovation = z - h @ self.state
+        s = h @ self.covariance @ h.T + r
+        gain = self.covariance @ h.T @ np.linalg.inv(s)
+        self.state = self.state + gain @ innovation
+        self.covariance = (np.eye(4) - gain @ h) @ self.covariance
+        self._clamp_speed()
+
+    def _clamp_speed(self) -> None:
+        speed = float(np.hypot(self.state[2], self.state[3]))
+        if speed > self.max_speed:
+            self.state[2:] *= self.max_speed / speed
+
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> np.ndarray:
+        """Current position estimate (x, y)."""
+        return self.state[:2].copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity estimate (vx, vy)."""
+        return self.state[2:].copy()
+
+    def predicted_position(self, dt_s: float) -> np.ndarray:
+        """Position ``dt_s`` ahead without mutating the filter."""
+        return self.state[:2] + dt_s * self.state[2:]
+
+    def position_std(self) -> float:
+        """RMS positional uncertainty (m)."""
+        return float(np.sqrt(np.trace(self.covariance[:2, :2]) / 2.0))

@@ -1,0 +1,144 @@
+"""Group tracker: fuse sparse localization rounds into smooth tracks.
+
+Consumes :class:`~repro.simulate.network_sim.RoundResult` objects (or
+raw position fixes) as the leader obtains them and maintains one Kalman
+track per diver. Between rounds the tracker extrapolates, so the dive
+leader sees continuously updated positions without continuous acoustic
+signalling — the design goal the paper's section 5 sets out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.tracking.kalman import KalmanTrack2D
+
+
+@dataclass(frozen=True)
+class TrackEstimate:
+    """One diver's fused state at a query time.
+
+    Attributes
+    ----------
+    device_id:
+        The diver.
+    position_xy:
+        Fused/extrapolated horizontal position (leader frame).
+    velocity_xy:
+        Estimated velocity.
+    uncertainty_m:
+        RMS positional uncertainty of the filter.
+    age_s:
+        Time since the last acoustic fix for this diver.
+    """
+
+    device_id: int
+    position_xy: np.ndarray
+    velocity_xy: np.ndarray
+    uncertainty_m: float
+    age_s: float
+
+
+class GroupTracker:
+    """Kalman tracks for every diver in the group."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        process_accel_std: float = 0.2,
+        base_measurement_std: float = 0.6,
+        measurement_std_per_m: float = 0.05,
+    ):
+        """Create a tracker.
+
+        Parameters
+        ----------
+        num_devices:
+            Group size (device 0, the leader, is the frame origin and
+            is not tracked).
+        process_accel_std:
+            Motion-model noise (m/s^2).
+        base_measurement_std / measurement_std_per_m:
+            Localization fixes are noisier for far divers (paper
+            Fig. 18); the observation noise fed to the filter is
+            ``base + slope * link_distance``.
+        """
+        if num_devices < 2:
+            raise ValueError("tracker needs at least a leader and one diver")
+        self.num_devices = num_devices
+        self.base_measurement_std = base_measurement_std
+        self.measurement_std_per_m = measurement_std_per_m
+        self.tracks: Dict[int, KalmanTrack2D] = {
+            i: KalmanTrack2D(process_accel_std=process_accel_std)
+            for i in range(1, num_devices)
+        }
+        self._last_fix_time: Dict[int, float] = {}
+        self._clock_s: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    def advance_to(self, time_s: float) -> None:
+        """Propagate all tracks to ``time_s`` (monotone)."""
+        if time_s < self._clock_s:
+            raise ValueError("time must not move backwards")
+        dt = time_s - self._clock_s
+        if dt > 0:
+            for track in self.tracks.values():
+                track.predict(dt)
+        self._clock_s = time_s
+
+    def ingest_round(self, time_s: float, round_result) -> None:
+        """Fuse one localization round taken at ``time_s``.
+
+        ``round_result`` needs ``result.positions2d`` (leader frame) and
+        ``link_distance_to_leader`` — a
+        :class:`~repro.simulate.network_sim.RoundResult` fits directly.
+        """
+        self.advance_to(time_s)
+        positions = np.asarray(round_result.result.positions2d, dtype=float)
+        link = np.asarray(round_result.link_distance_to_leader, dtype=float)
+        for dev_id, track in self.tracks.items():
+            if dev_id >= positions.shape[0]:
+                continue
+            r_std = (
+                self.base_measurement_std
+                + self.measurement_std_per_m * float(link[dev_id])
+            )
+            track.update(positions[dev_id], measurement_std=r_std)
+            self._last_fix_time[dev_id] = time_s
+
+    def ingest_fix(self, time_s: float, device_id: int, position_xy) -> None:
+        """Fuse a single diver's position fix (e.g. from a partial round)."""
+        if device_id not in self.tracks:
+            raise KeyError(f"unknown diver {device_id}")
+        self.advance_to(time_s)
+        self.tracks[device_id].update(position_xy)
+        self._last_fix_time[device_id] = time_s
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, device_id: int, time_s: Optional[float] = None) -> TrackEstimate:
+        """Fused estimate for a diver, optionally extrapolated ahead."""
+        if device_id not in self.tracks:
+            raise KeyError(f"unknown diver {device_id}")
+        track = self.tracks[device_id]
+        query = self._clock_s if time_s is None else time_s
+        if query < self._clock_s:
+            raise ValueError("cannot query the past")
+        dt = query - self._clock_s
+        position = track.predicted_position(dt) if dt > 0 else track.position
+        last_fix = self._last_fix_time.get(device_id, float("-inf"))
+        return TrackEstimate(
+            device_id=device_id,
+            position_xy=position,
+            velocity_xy=track.velocity,
+            uncertainty_m=track.position_std(),
+            age_s=query - last_fix,
+        )
+
+    def estimates(self, time_s: Optional[float] = None) -> Dict[int, TrackEstimate]:
+        """Estimates for the whole group."""
+        return {i: self.estimate(i, time_s) for i in self.tracks}

@@ -1,0 +1,208 @@
+"""Tests for the underwater channel: multipath, noise, occlusion, render."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.environment import BOATHOUSE, DOCK, ENVIRONMENTS, SWIMMING_POOL, VIEWPOINT
+from repro.channel.multipath import PathTap, delay_spread, image_method_taps
+from repro.channel.noise import NoiseModel, ambient_noise, make_noise, spiky_noise
+from repro.channel.occlusion import Occlusion, apply_occlusion
+from repro.channel.render import apply_channel, directivity_gain, render_taps
+
+
+class TestImageMethod:
+    def test_direct_path_first_and_exact(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 3], 9.0, 1_500.0)
+        assert taps[0].is_direct
+        true_delay = np.sqrt(20**2 + 1**2) / 1_500.0
+        assert taps[0].delay_s == pytest.approx(true_delay, rel=1e-9)
+
+    def test_surface_reflection_present(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0)
+        surf = [t for t in taps if t.surface_bounces == 1 and t.bottom_bounces == 0]
+        assert len(surf) == 1
+        expected = np.sqrt(20**2 + 4**2) / 1_500.0
+        assert surf[0].delay_s == pytest.approx(expected, rel=1e-9)
+        # Pressure-release surface flips the phase.
+        assert surf[0].amplitude < 0
+
+    def test_bottom_reflection_delay(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0)
+        bottom = [t for t in taps if t.bottom_bounces == 1 and t.surface_bounces == 0]
+        expected = np.sqrt(20**2 + 14**2) / 1_500.0
+        assert bottom[0].delay_s == pytest.approx(expected, rel=1e-9)
+
+    def test_higher_order_weaker(self):
+        taps = image_method_taps(
+            [0, 0, 2], [15, 0, 2], 9.0, 1_500.0, max_order=4, bottom_coeff=0.5
+        )
+        direct = taps[0]
+        multi = [t for t in taps if t.surface_bounces + t.bottom_bounces >= 3]
+        assert all(abs(t.amplitude) < abs(direct.amplitude) for t in multi)
+
+    def test_shallow_water_denser(self):
+        deep = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0, max_order=3)
+        shallow = image_method_taps([0, 0, 1], [20, 0, 1], 1.5, 1_500.0, max_order=3)
+        # Same order -> same image count, but shallow arrivals bunch up.
+        assert delay_spread(shallow) < delay_spread(deep)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            image_method_taps([0, 0, -1], [10, 0, 2], 9.0, 1_500.0)
+        with pytest.raises(ValueError):
+            image_method_taps([0, 0, 2], [10, 0, 12], 9.0, 1_500.0)
+        with pytest.raises(ValueError):
+            image_method_taps([0, 0, 2], [10, 0, 2], 9.0, -5.0)
+        with pytest.raises(ValueError):
+            image_method_taps([0, 0, 2], [10, 0, 2], 9.0, 1_500.0, surface_coeff=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.floats(1.0, 40.0),
+        z_tx=st.floats(0.1, 8.9),
+        z_rx=st.floats(0.1, 8.9),
+    )
+    def test_taps_sorted_and_direct_dominates_early(self, x, z_tx, z_rx):
+        taps = image_method_taps([0, 0, z_tx], [x, 0, z_rx], 9.0, 1_500.0)
+        delays = [t.delay_s for t in taps]
+        assert delays == sorted(delays)
+        assert taps[0].is_direct
+
+    def test_delay_spread_monotone_in_fraction(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0, max_order=4)
+        assert delay_spread(taps, 0.5) <= delay_spread(taps, 0.99)
+
+    def test_delay_spread_validation(self):
+        with pytest.raises(ValueError):
+            delay_spread([])
+        taps = image_method_taps([0, 0, 2], [10, 0, 2], 9.0, 1_500.0)
+        with pytest.raises(ValueError):
+            delay_spread(taps, 1.5)
+
+
+class TestNoise:
+    def test_ambient_rms_matches_model(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(ambient_rms=0.02)
+        noise = ambient_noise(44_100, model, rng)
+        assert np.sqrt(np.mean(noise**2)) == pytest.approx(0.02, rel=0.05)
+
+    def test_spiky_noise_rate(self):
+        rng = np.random.default_rng(1)
+        model = NoiseModel(spike_rate_hz=5.0, spike_amplitude=1.0)
+        noise = spiky_noise(10 * 44_100, model, rng)
+        # Spikes stand far above zero baseline.
+        assert np.max(np.abs(noise)) > 0.3
+
+    def test_zero_rate_no_spikes(self):
+        rng = np.random.default_rng(2)
+        model = NoiseModel(spike_rate_hz=0.0)
+        assert np.all(spiky_noise(44_100, model, rng) == 0)
+
+    def test_make_noise_combines(self):
+        rng = np.random.default_rng(3)
+        model = NoiseModel(ambient_rms=0.01, spike_rate_hz=1.0)
+        noise = make_noise(44_100, model, rng)
+        assert noise.size == 44_100
+        assert np.std(noise) > 0
+
+    def test_scaled(self):
+        model = NoiseModel(ambient_rms=0.01, spike_amplitude=0.2)
+        scaled = model.scaled(2.0)
+        assert scaled.ambient_rms == pytest.approx(0.02)
+        assert scaled.spike_amplitude == pytest.approx(0.4)
+        assert scaled.spike_rate_hz == model.spike_rate_hz
+
+    def test_empty_request(self):
+        rng = np.random.default_rng(4)
+        assert ambient_noise(0, NoiseModel(), rng).size == 0
+
+
+class TestEnvironments:
+    def test_all_presets_registered(self):
+        assert set(ENVIRONMENTS) == {
+            "swimming_pool",
+            "dock",
+            "viewpoint",
+            "boathouse",
+        }
+
+    def test_paper_geometries(self):
+        assert DOCK.water_depth_m == pytest.approx(9.0)
+        assert DOCK.length_m == pytest.approx(50.0)
+        assert SWIMMING_POOL.water_depth_m == pytest.approx(2.5)
+        assert VIEWPOINT.water_depth_m == pytest.approx(1.5)
+        assert BOATHOUSE.water_depth_m == pytest.approx(5.0)
+
+    def test_sound_speed_plausible(self):
+        for env in ENVIRONMENTS.values():
+            assert 1_400 < env.sound_speed(1.0) < 1_600
+
+    def test_boathouse_noisiest(self):
+        assert BOATHOUSE.noise.ambient_rms >= DOCK.noise.ambient_rms
+        assert BOATHOUSE.noise.spike_rate_hz >= DOCK.noise.spike_rate_hz
+
+
+class TestOcclusion:
+    def test_direct_attenuated(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0)
+        occluded = apply_occlusion(taps, Occlusion(direct_attenuation_db=60.0))
+        assert abs(occluded[0].amplitude) == pytest.approx(
+            abs(taps[0].amplitude) * 1e-3
+        )
+
+    def test_high_order_untouched(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0, max_order=3)
+        occluded = apply_occlusion(taps, Occlusion())
+        for before, after in zip(taps, occluded):
+            if before.surface_bounces + before.bottom_bounces >= 2:
+                assert after.amplitude == pytest.approx(before.amplitude)
+
+    def test_occlusion_makes_reflection_strongest(self):
+        taps = image_method_taps([0, 0, 2], [20, 0, 2], 9.0, 1_500.0)
+        occluded = apply_occlusion(taps, Occlusion(direct_attenuation_db=60.0))
+        strongest = max(occluded, key=lambda t: abs(t.amplitude))
+        assert not strongest.is_direct
+
+
+class TestRender:
+    def test_render_integer_delay(self):
+        taps = [PathTap(delay_s=10 / 44_100.0, amplitude=0.5)]
+        fir = render_taps(taps, 44_100.0)
+        assert fir[10] == pytest.approx(0.5)
+
+    def test_render_fractional_delay_split(self):
+        taps = [PathTap(delay_s=10.25 / 44_100.0, amplitude=1.0)]
+        fir = render_taps(taps, 44_100.0)
+        assert fir[10] == pytest.approx(0.75)
+        assert fir[11] == pytest.approx(0.25)
+
+    def test_reference_delay_shift(self):
+        taps = [PathTap(delay_s=0.01, amplitude=1.0)]
+        fir = render_taps(taps, 44_100.0, reference_delay_s=0.01)
+        assert fir[0] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            render_taps(taps, 44_100.0, reference_delay_s=0.02)
+
+    def test_apply_channel_delays_waveform(self):
+        wave = np.zeros(100)
+        wave[0] = 1.0
+        taps = [PathTap(delay_s=50 / 44_100.0, amplitude=1.0)]
+        out = apply_channel(wave, taps, 44_100.0)
+        assert int(np.argmax(out)) == 50
+
+    def test_apply_channel_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            apply_channel(np.ones(10), [], 44_100.0)
+
+    def test_directivity_peak_on_axis(self):
+        on_axis = directivity_gain(0.0, np.pi / 2, 0.0, np.pi / 2)
+        off_axis = directivity_gain(0.0, np.pi / 2, np.pi, np.pi / 2)
+        assert on_axis == pytest.approx(1.0)
+        assert off_axis == pytest.approx(0.25)
+        assert 0.25 < directivity_gain(0.0, np.pi / 2, np.pi / 2, np.pi / 2) < 1.0
+
+    def test_directivity_validation(self):
+        with pytest.raises(ValueError):
+            directivity_gain(0, 0, 0, 0, backlobe_gain=1.5)

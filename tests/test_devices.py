@@ -1,0 +1,198 @@
+"""Tests for device models: clocks, audio buffers, sensors, geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.audio_io import AudioStreams
+from repro.devices.clock import DeviceClock
+from repro.devices.device import Device, make_device
+from repro.devices.models import (
+    APPLE_WATCH_ULTRA,
+    DEVICE_MODELS,
+    GOOGLE_PIXEL,
+    ONEPLUS,
+    SAMSUNG_S9,
+    DeviceModel,
+)
+from repro.devices.sensors import (
+    DepthSensor,
+    phone_pressure_sensor,
+    smartwatch_depth_gauge,
+)
+
+
+class TestDeviceClock:
+    def test_ideal_clock_identity(self):
+        clock = DeviceClock()
+        assert clock.local_time(12.5) == pytest.approx(12.5)
+
+    def test_epoch_offsets(self):
+        clock = DeviceClock(epoch_s=100.0)
+        assert clock.local_time(100.0) == pytest.approx(0.0)
+
+    def test_skew_scales_intervals(self):
+        clock = DeviceClock(skew_ppm=50.0)
+        assert clock.local_interval(1.0) == pytest.approx(1.0 + 50e-6)
+
+    @given(
+        skew=st.floats(-100.0, 100.0),
+        epoch=st.floats(-1e3, 1e3),
+        t=st.floats(-1e4, 1e4),
+    )
+    def test_roundtrip(self, skew, epoch, t):
+        clock = DeviceClock(skew_ppm=skew, epoch_s=epoch)
+        assert clock.global_time(clock.local_time(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_interval_roundtrip(self):
+        clock = DeviceClock(skew_ppm=-30.0)
+        assert clock.global_interval(clock.local_interval(2.0)) == pytest.approx(2.0)
+
+
+class TestAudioStreams:
+    def test_index_time_roundtrip(self):
+        streams = AudioStreams(alpha_ppm=20.0, beta_ppm=-15.0, mic_start_s=0.3)
+        t = streams.mic_time(10_000)
+        assert streams.mic_index(t) == pytest.approx(10_000)
+
+    def test_calibration_measures_offset(self):
+        streams = AudioStreams(speaker_start_s=0.25, mic_start_s=0.10)
+        cal = streams.calibrate(speaker_index=500)
+        # The mic has run for longer, so its index is larger by roughly
+        # the start offset times the rate, minus the acoustic self-delay.
+        expected_mic_index = streams.mic_index(
+            streams.speaker_time(500) + streams.self_delay_s
+        )
+        assert cal.mic_index == pytest.approx(expected_mic_index)
+
+    def test_scheduled_reply_hits_desired_interval_no_skew(self):
+        streams = AudioStreams(speaker_start_s=0.4, mic_start_s=0.1)
+        cal = streams.calibrate()
+        n2 = streams.schedule_reply(30_000.0, 0.6, cal)
+        actual = streams.actual_reply_interval(n2, 30_000.0)
+        assert actual == pytest.approx(0.6, abs=1e-9)
+
+    def test_reply_error_matches_eq6(self):
+        streams = AudioStreams(
+            alpha_ppm=40.0, beta_ppm=-25.0, speaker_start_s=0.2, mic_start_s=0.05
+        )
+        cal = streams.calibrate()
+        for m2 in (10_000.0, 400_000.0, 2_000_000.0):
+            exact = streams.reply_timing_error(m2, 0.6, cal)
+            predicted = streams.predicted_reply_error(m2, 0.6, cal)
+            assert exact == pytest.approx(predicted, abs=1e-7)
+
+    def test_reply_error_magnitude_tiny(self):
+        # ppm-level skews over a protocol round stay well under a sample.
+        streams = AudioStreams(alpha_ppm=80.0, beta_ppm=-80.0)
+        cal = streams.calibrate()
+        err = streams.reply_timing_error(44_100.0 * 5, 0.6, cal)
+        assert abs(err) < 1e-3
+
+    def test_negative_reply_rejected(self):
+        streams = AudioStreams()
+        cal = streams.calibrate()
+        with pytest.raises(ValueError):
+            streams.schedule_reply(0.0, -1.0, cal)
+
+
+class TestSensors:
+    def test_smartwatch_accuracy_band(self):
+        rng = np.random.default_rng(0)
+        sensor = smartwatch_depth_gauge()
+        errors = []
+        for depth in np.arange(0.0, 9.5, 1.0):
+            readings = sensor.measure_many(depth, 40, rng)
+            errors.extend(np.abs(readings - depth))
+        mean_err = float(np.mean(errors))
+        assert 0.05 < mean_err < 0.30  # paper: 0.15 +/- 0.11
+
+    def test_phone_less_accurate_than_watch(self):
+        rng = np.random.default_rng(1)
+        watch, phone = smartwatch_depth_gauge(), phone_pressure_sensor()
+        depth = 5.0
+        watch_err = np.mean(np.abs(watch.measure_many(depth, 60, rng) - depth))
+        phone_err = np.mean(np.abs(phone.measure_many(depth, 60, rng) - depth))
+        assert phone_err > watch_err
+
+    def test_reading_clamped_at_surface(self):
+        rng = np.random.default_rng(2)
+        sensor = DepthSensor(name="x", bias_m=-5.0, noise_std_m=0.0)
+        assert sensor.measure(1.0, rng) == 0.0
+
+    def test_resolution_quantises(self):
+        rng = np.random.default_rng(3)
+        sensor = DepthSensor(name="x", noise_std_m=0.0, resolution_m=0.5)
+        assert sensor.measure(1.3, rng) in (1.0, 1.5)
+
+
+class TestDeviceModels:
+    def test_presets_registered(self):
+        assert set(DEVICE_MODELS) == {
+            "samsung_s9",
+            "google_pixel",
+            "oneplus",
+            "apple_watch_ultra",
+        }
+
+    def test_watch_smaller_mic_separation(self):
+        assert APPLE_WATCH_ULTRA.mic_separation_m < SAMSUNG_S9.mic_separation_m
+
+    def test_mic_noise_per_mic(self):
+        with pytest.raises(ValueError):
+            DeviceModel(name="bad", mic_noise_rms=(0.1,))
+
+    def test_model_volume_ordering(self):
+        assert ONEPLUS.source_level > GOOGLE_PIXEL.source_level
+
+
+class TestDevice:
+    def test_mic_separation_respected(self):
+        dev = Device(device_id=1, position=np.array([0.0, 0.0, 2.0]))
+        bottom, top = dev.mic_positions()
+        assert np.linalg.norm(top - bottom) == pytest.approx(0.16)
+
+    def test_lateral_mics_horizontal_perpendicular(self):
+        dev = Device(
+            device_id=0, position=np.array([0.0, 0.0, 2.0]), azimuth_rad=np.pi / 4
+        )
+        left, right = dev.mic_positions(lateral=True)
+        separation = left - right
+        assert separation[2] == pytest.approx(0.0)
+        axis = dev.axis
+        assert np.dot(separation, axis) == pytest.approx(0.0, abs=1e-12)
+
+    def test_left_mic_is_left_of_azimuth(self):
+        dev = Device(device_id=0, position=np.zeros(3), azimuth_rad=0.0)
+        left, right = dev.mic_positions(lateral=True)
+        # Facing +x, left is +y.
+        assert left[1] > right[1]
+
+    def test_distance_to(self):
+        a = Device(device_id=0, position=np.array([0.0, 0.0, 1.0]))
+        b = Device(device_id=1, position=np.array([3.0, 4.0, 1.0]))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_invalid_position_rejected(self):
+        with pytest.raises(ValueError):
+            Device(device_id=0, position=np.zeros(2))
+
+    def test_moved_to_copies(self):
+        dev = Device(device_id=2, position=np.array([1.0, 2.0, 3.0]))
+        moved = dev.moved_to([5.0, 5.0, 1.0])
+        assert moved.device_id == 2
+        assert np.allclose(dev.position, [1.0, 2.0, 3.0])
+        assert np.allclose(moved.position, [5.0, 5.0, 1.0])
+
+    def test_make_device_randomises_clocks(self):
+        rng = np.random.default_rng(7)
+        d1 = make_device(1, [0, 0, 1], rng)
+        d2 = make_device(2, [1, 0, 1], rng)
+        assert d1.clock.skew_ppm != d2.clock.skew_ppm
+        assert d1.audio.mic_start_s != d2.audio.mic_start_s
+
+    def test_measure_depth_uses_sensor(self):
+        rng = np.random.default_rng(8)
+        dev = make_device(1, [0, 0, 3.0], rng)
+        readings = [dev.measure_depth(rng) for _ in range(20)]
+        assert np.mean(readings) == pytest.approx(3.0, abs=1.0)

@@ -1,0 +1,153 @@
+"""Tests for the two-hop uplink relay extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import TimestampReport
+from repro.protocol.relay import (
+    RelayPlan,
+    apply_relays,
+    plan_relays,
+    relay_uplink_latency_s,
+)
+from repro.protocol.uplink import communication_latency_s
+
+
+def _report(device_id, heard):
+    return TimestampReport(
+        device_id=device_id,
+        depth_m=1.0,
+        own_tx_local_s=0.6,
+        receptions={j: 0.01 * j for j in heard},
+    )
+
+
+class TestPlanRelays:
+    def test_no_missing_no_plan(self):
+        reports = {i: _report(i, [j for j in range(4) if j != i]) for i in range(4)}
+        plan = plan_relays(4, [0, 1, 2, 3], reports)
+        assert plan.assignments == []
+        assert plan.num_waves == 0
+
+    def test_single_missing_relayed_by_hearer(self):
+        # Device 3 out of the leader's range; devices 1 and 2 heard it.
+        reports = {
+            0: _report(0, [1, 2]),
+            1: _report(1, [0, 2, 3]),
+            2: _report(2, [0, 1, 3]),
+            3: _report(3, [1, 2]),
+        }
+        plan = plan_relays(4, [0, 1, 2], reports)
+        assert plan.relayed_ids() == [3]
+        assert plan.assignments[0].relay_id in (1, 2)
+        assert plan.num_waves == 1
+        assert plan.unreachable == []
+
+    def test_closest_relay_preferred(self):
+        reports = {
+            0: _report(0, [1, 2]),
+            1: _report(1, [0, 2, 3]),
+            2: _report(2, [0, 1, 3]),
+            3: _report(3, [1, 2]),
+        }
+        d = np.full((4, 4), 20.0)
+        d[2, 3] = d[3, 2] = 5.0  # device 2 is much closer to 3
+        plan = plan_relays(4, [0, 1, 2], reports, distances=d)
+        assert plan.assignments[0].relay_id == 2
+
+    def test_unreachable_device_flagged(self):
+        reports = {
+            0: _report(0, [1]),
+            1: _report(1, [0]),
+            2: _report(2, []),  # nobody heard device 2
+        }
+        plan = plan_relays(3, [0, 1], reports)
+        assert plan.unreachable == [2]
+        assert plan.assignments == []
+
+    def test_load_spread_over_waves(self):
+        # Two missing devices, single viable relay: two waves.
+        reports = {
+            0: _report(0, [1]),
+            1: _report(1, [0, 2, 3]),
+            2: _report(2, [1]),
+            3: _report(3, [1]),
+        }
+        plan = plan_relays(4, [0, 1], reports, max_reports_per_relay_wave=1)
+        assert sorted(plan.relayed_ids()) == [2, 3]
+        assert plan.num_waves == 2
+
+    def test_leader_must_be_direct(self):
+        with pytest.raises(ProtocolError):
+            plan_relays(3, [1, 2], {})
+
+
+class TestRelayLatencyAndMerge:
+    def test_latency_adds_one_wave(self):
+        plan = RelayPlan(num_waves=1)
+        base = communication_latency_s(5)
+        assert relay_uplink_latency_s(5, plan) == pytest.approx(2 * base)
+
+    def test_apply_relays_merges_reports(self):
+        all_reports = {i: _report(i, []) for i in range(4)}
+        leader_has = {0: all_reports[0], 1: all_reports[1], 2: all_reports[2]}
+        plan = RelayPlan(
+            assignments=[
+                __import__("repro.protocol.relay", fromlist=["RelayAssignment"]).RelayAssignment(
+                    source_id=3, relay_id=1, wave=1
+                )
+            ],
+            num_waves=1,
+        )
+        merged = apply_relays(leader_has, all_reports, plan)
+        assert set(merged) == {0, 1, 2, 3}
+
+    def test_end_to_end_out_of_range_localization(self):
+        """A diver out of the leader's range is still localized after the
+        relay wave delivers its report."""
+        from repro.devices.clock import DeviceClock
+        from repro.geometry import pairwise_distance_matrix
+        from repro.localization.pipeline import localize
+        from repro.protocol.ranging_matrix import pairwise_distances_from_reports
+        from repro.protocol.round import run_protocol_round
+
+        rng = np.random.default_rng(3)
+        pts = np.array(
+            [
+                [0.0, 0.0, 1.5],
+                [6.0, 0.0, 2.0],
+                [2.0, 9.0, 1.0],
+                [12.0, 7.0, 2.0],
+                [20.0, 12.0, 1.5],  # out of the leader's 20 m range
+            ]
+        )
+        d = pairwise_distance_matrix(pts)
+        conn = d <= 20.0
+        np.fill_diagonal(conn, False)
+        assert not conn[0, 4]
+        clocks = [DeviceClock(skew_ppm=rng.uniform(-50, 50)) for _ in range(5)]
+        outcome = run_protocol_round(d, conn, 1_480.0, clocks=clocks, rng=rng)
+
+        # The uplink mirrors the acoustic connectivity: the leader only
+        # receives direct reports from devices it can hear.
+        direct = [0] + [i for i in range(1, 5) if conn[0, i]]
+        plan = plan_relays(5, direct, outcome.reports, distances=d)
+        assert 4 in plan.relayed_ids()
+        leader_reports = {i: outcome.reports[i] for i in direct}
+        merged = apply_relays(leader_reports, outcome.reports, plan)
+
+        est, w = pairwise_distances_from_reports(merged.values(), 1_480.0)
+        est = np.where(np.isfinite(est), est, 0.0)
+        from repro.geometry.transforms import angle_of
+
+        result = localize(
+            est,
+            pts[:, 2],
+            pointing_azimuth_rad=angle_of(pts[1, :2] - pts[0, :2]),
+            weights=w,
+        )
+        truth = pts[:, :2] - pts[0, :2]
+        errors = np.linalg.norm(result.positions2d - truth, axis=1)
+        # Device 4 (never heard by the leader) is localized too.
+        assert errors[4] < 1.0

@@ -1,0 +1,140 @@
+"""Tests for the pebble game, rigidity and unique realizability."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localization.rigidity import (
+    edges_from_weights,
+    independent_edge_count,
+    is_redundantly_rigid,
+    is_rigid,
+    is_uniquely_realizable,
+    laman_satisfied,
+)
+
+
+def complete_graph_edges(n):
+    return list(itertools.combinations(range(n), 2))
+
+
+class TestRigidity:
+    def test_triangle_rigid(self):
+        assert is_rigid(3, [(0, 1), (1, 2), (0, 2)])
+
+    def test_path_not_rigid(self):
+        assert not is_rigid(3, [(0, 1), (1, 2)])
+
+    def test_square_not_rigid(self):
+        # The 4-cycle deforms into a rhombus (paper Fig. 4a).
+        assert not is_rigid(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_square_with_diagonal_rigid(self):
+        assert is_rigid(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+    def test_complete_graphs_rigid(self):
+        for n in range(2, 8):
+            assert is_rigid(n, complete_graph_edges(n))
+
+    def test_two_triangles_sharing_vertex_not_rigid(self):
+        # Hinge at the shared vertex.
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        assert not is_rigid(5, edges)
+
+    def test_single_node_trivially_rigid(self):
+        assert is_rigid(1, [])
+        assert is_rigid(2, [(0, 1)])
+        assert not is_rigid(2, [])
+
+    def test_double_banana_analogue_counts(self):
+        # Laman counting: K4 has 6 edges but rank 2*4-3 = 5.
+        assert independent_edge_count(4, complete_graph_edges(4)) == 5
+
+    def test_laman_satisfied_minimally_rigid(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]  # 2*4-3 = 5 edges
+        assert laman_satisfied(4, edges)
+        assert not laman_satisfied(4, complete_graph_edges(4))  # 6 edges
+
+    def test_overconstrained_subgraph_rejected(self):
+        # K4 plus an isolated-ish path: total 2n-3 edges but K4 part has
+        # more than 2n'-3 -> not Laman.
+        edges = complete_graph_edges(4) + [(3, 4), (4, 5), (3, 5)]
+        n = 6
+        assert len(edges) == 2 * n - 3
+        assert not laman_satisfied(n, edges)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            is_rigid(3, [(0, 0)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            independent_edge_count(3, [(0, 5)])
+
+
+class TestRedundantRigidity:
+    def test_k4_redundantly_rigid(self):
+        assert is_redundantly_rigid(4, complete_graph_edges(4))
+
+    def test_minimally_rigid_not_redundant(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]
+        assert is_rigid(4, edges)
+        assert not is_redundantly_rigid(4, edges)
+
+    def test_triangle_not_redundant(self):
+        assert not is_redundantly_rigid(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestUniqueRealizability:
+    def test_small_complete_graphs(self):
+        assert is_uniquely_realizable(2, [(0, 1)])
+        assert is_uniquely_realizable(3, complete_graph_edges(3))
+        assert not is_uniquely_realizable(3, [(0, 1), (1, 2)])
+
+    def test_k4_and_k5(self):
+        assert is_uniquely_realizable(4, complete_graph_edges(4))
+        assert is_uniquely_realizable(5, complete_graph_edges(5))
+
+    def test_k5_minus_edge(self):
+        edges = [e for e in complete_graph_edges(5) if e != (0, 1)]
+        assert is_uniquely_realizable(5, edges)
+
+    def test_partial_reflection_graph_rejected(self):
+        # Two triangles sharing an edge: rigid but a node can reflect
+        # across the shared edge (paper Fig. 4b); 2-connected only.
+        edges = [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]
+        assert is_rigid(4, edges)
+        assert not is_uniquely_realizable(4, edges)
+
+    def test_disconnected_rejected(self):
+        edges = complete_graph_edges(3) + [(4, 5)]
+        assert not is_uniquely_realizable(6, edges)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_agrees_with_definition_on_random_graphs(self, seed):
+        # Cross-check 3-connectivity + redundant rigidity composition.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 7))
+        edges = [e for e in complete_graph_edges(n) if rng.random() < 0.8]
+        got = is_uniquely_realizable(n, edges)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        expected = (
+            nx.is_connected(graph)
+            and nx.node_connectivity(graph) >= 3
+            and is_redundantly_rigid(n, edges)
+        )
+        assert got == expected
+
+
+class TestEdgesFromWeights:
+    def test_extracts_upper_triangle(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        w[1, 2] = w[2, 1] = 1.0
+        assert edges_from_weights(w) == [(0, 1), (1, 2)]

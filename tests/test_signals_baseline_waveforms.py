@@ -1,0 +1,75 @@
+"""Tests for the chirp and FMCW baseline waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.signals.chirp import linear_chirp
+from repro.signals.fmcw import (
+    FmcwConfig,
+    beat_bin_to_delay,
+    dechirp,
+    estimate_delay,
+    fmcw_waveform,
+)
+
+
+class TestLinearChirp:
+    def test_length_and_amplitude(self):
+        wave = linear_chirp(0.1, 1_000, 5_000, 44_100)
+        assert wave.size == 4_410
+        assert np.max(np.abs(wave)) == pytest.approx(1.0)
+
+    def test_band_occupancy(self):
+        wave = linear_chirp(0.2, 1_000, 5_000, 44_100, window=None)
+        spectrum = np.abs(np.fft.rfft(wave))
+        freqs = np.fft.rfftfreq(wave.size, d=1 / 44_100)
+        total = spectrum.sum()
+        in_band = spectrum[(freqs >= 900) & (freqs <= 5_100)].sum()
+        assert in_band / total > 0.95
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            linear_chirp(0.0, 1_000, 5_000, 44_100)
+
+    def test_band_above_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            linear_chirp(0.1, 1_000, 30_000, 44_100)
+
+    def test_custom_amplitude(self):
+        wave = linear_chirp(0.05, 1_000, 5_000, 44_100, amplitude=0.3)
+        assert np.max(np.abs(wave)) == pytest.approx(0.3)
+
+
+class TestFmcw:
+    def test_config_properties(self):
+        cfg = FmcwConfig(duration_s=0.2)
+        assert cfg.bandwidth_hz == pytest.approx(4_000.0)
+        assert cfg.slope_hz_per_s == pytest.approx(20_000.0)
+        assert cfg.num_samples == 8_820
+
+    def test_zero_delay_beat_at_dc(self):
+        cfg = FmcwConfig(duration_s=0.2)
+        ref = fmcw_waveform(cfg)
+        spectrum = dechirp(ref, cfg)
+        # Self-mix: beat concentrated at/near DC.
+        assert np.argmax(spectrum) <= 2
+
+    def test_known_delay_recovered(self):
+        cfg = FmcwConfig(duration_s=0.5)
+        ref = fmcw_waveform(cfg)
+        delay_samples = 441  # 10 ms
+        delayed = np.concatenate([np.zeros(delay_samples), ref])
+        est = estimate_delay(delayed, cfg)
+        assert est == pytest.approx(0.01, abs=0.002)
+
+    def test_bin_to_delay_conversion(self):
+        cfg = FmcwConfig(duration_s=0.5)
+        # One FFT bin = fs/N Hz = 2 Hz; slope 8 kHz/s -> 0.25 ms per bin.
+        assert beat_bin_to_delay(1, cfg) == pytest.approx(
+            (44_100 / cfg.num_samples) / cfg.slope_hz_per_s
+        )
+
+    def test_short_window_rejected(self):
+        cfg = FmcwConfig(duration_s=0.2)
+        with pytest.raises(ValueError):
+            dechirp(np.zeros(100), cfg)

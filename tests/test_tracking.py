@@ -1,0 +1,165 @@
+"""Tests for the continuous-tracking extension (Kalman fusion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tracking.kalman import KalmanTrack2D
+from repro.tracking.tracker import GroupTracker
+
+
+class TestKalmanTrack:
+    def test_first_update_initialises(self):
+        track = KalmanTrack2D()
+        track.update([3.0, -2.0])
+        assert track.initialized
+        assert np.allclose(track.position, [3.0, -2.0])
+        assert np.allclose(track.velocity, 0.0)
+
+    def test_predict_before_init_noop(self):
+        track = KalmanTrack2D()
+        track.predict(5.0)
+        assert not track.initialized
+
+    def test_static_target_converges(self):
+        rng = np.random.default_rng(0)
+        track = KalmanTrack2D(measurement_std=0.5)
+        for _ in range(30):
+            track.predict(2.0)
+            track.update([10.0, 5.0] + rng.normal(0, 0.5, 2))
+        assert np.linalg.norm(track.position - [10.0, 5.0]) < 0.6
+        assert np.linalg.norm(track.velocity) < 0.35
+
+    def test_constant_velocity_learned(self):
+        track = KalmanTrack2D(measurement_std=0.1)
+        for k in range(25):
+            track.predict(1.0)
+            track.update([0.4 * k, 0.0])
+        assert track.velocity[0] == pytest.approx(0.4, abs=0.1)
+        # Prediction ahead follows the motion.
+        ahead = track.predicted_position(5.0)
+        assert ahead[0] == pytest.approx(0.4 * 24 + 5 * 0.4, abs=1.0)
+
+    def test_speed_clamped(self):
+        track = KalmanTrack2D(max_speed=1.5, measurement_std=0.1)
+        track.update([0.0, 0.0])
+        track.predict(1.0)
+        track.update([50.0, 0.0])  # absurd jump
+        assert np.linalg.norm(track.velocity) <= 1.5 + 1e-9
+
+    def test_uncertainty_grows_while_coasting(self):
+        track = KalmanTrack2D()
+        track.update([0.0, 0.0])
+        before = track.position_std()
+        track.predict(10.0)
+        assert track.position_std() > before
+
+    def test_negative_dt_rejected(self):
+        track = KalmanTrack2D()
+        with pytest.raises(ValueError):
+            track.predict(-1.0)
+
+    def test_bad_observation_shape_rejected(self):
+        track = KalmanTrack2D()
+        with pytest.raises(ValueError):
+            track.update([1.0, 2.0, 3.0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1_000), speed=st.floats(0.1, 0.6))
+    def test_tracking_beats_raw_fixes_on_smooth_motion(self, seed, speed):
+        # Fused error <= raw-fix error on average for a straight swim.
+        rng = np.random.default_rng(seed)
+        track = KalmanTrack2D(measurement_std=1.0)
+        fused_errs, raw_errs = [], []
+        for k in range(40):
+            truth = np.array([speed * k * 3.0, 2.0])
+            fix = truth + rng.normal(0, 1.0, 2)
+            track.predict(3.0)
+            track.update(fix)
+            if k >= 10:  # after burn-in
+                fused_errs.append(np.linalg.norm(track.position - truth))
+                raw_errs.append(np.linalg.norm(fix - truth))
+        assert np.mean(fused_errs) <= np.mean(raw_errs) * 1.1
+
+
+class _FakeRound:
+    def __init__(self, positions2d, link):
+        class _R:
+            pass
+
+        self.result = _R()
+        self.result.positions2d = positions2d
+        self.link_distance_to_leader = link
+
+
+class TestGroupTracker:
+    def test_round_ingestion_and_estimates(self):
+        tracker = GroupTracker(num_devices=4)
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 8.0], [6.0, 6.0]])
+        link = np.array([0.0, 5.0, 8.0, 8.5])
+        tracker.ingest_round(0.0, _FakeRound(positions, link))
+        est = tracker.estimate(2)
+        assert np.allclose(est.position_xy, [0.0, 8.0])
+        assert est.age_s == 0.0
+
+    def test_extrapolation_between_rounds(self):
+        tracker = GroupTracker(num_devices=3)
+        link = np.array([0.0, 5.0, 8.0])
+        for k in range(10):
+            positions = np.array([[0.0, 0.0], [5.0 + 0.5 * k, 0.0], [0.0, 8.0]])
+            tracker.ingest_round(k * 2.0, _FakeRound(positions, link))
+        # Diver 1 moves at 0.25 m/s; predict 4 s ahead.
+        est = tracker.estimate(1, time_s=18.0 + 4.0)
+        expected_x = 5.0 + 0.5 * 9 + 4.0 * 0.25
+        assert est.position_xy[0] == pytest.approx(expected_x, abs=1.0)
+        assert est.age_s == pytest.approx(4.0)
+
+    def test_far_divers_get_larger_observation_noise(self):
+        tracker = GroupTracker(num_devices=3)
+        positions = np.array([[0.0, 0.0], [3.0, 0.0], [24.0, 0.0]])
+        link = np.array([0.0, 3.0, 24.0])
+        for k in range(5):
+            tracker.ingest_round(k * 2.0, _FakeRound(positions, link))
+        near = tracker.estimate(1).uncertainty_m
+        far = tracker.estimate(2).uncertainty_m
+        assert far > near
+
+    def test_time_must_be_monotone(self):
+        tracker = GroupTracker(num_devices=3)
+        tracker.advance_to(5.0)
+        with pytest.raises(ValueError):
+            tracker.advance_to(4.0)
+        with pytest.raises(ValueError):
+            tracker.estimate(1, time_s=1.0)
+
+    def test_unknown_diver_rejected(self):
+        tracker = GroupTracker(num_devices=3)
+        with pytest.raises(KeyError):
+            tracker.estimate(7)
+        with pytest.raises(KeyError):
+            tracker.ingest_fix(0.0, 0, [0.0, 0.0])  # leader is not tracked
+
+    def test_single_fix_ingestion(self):
+        tracker = GroupTracker(num_devices=3)
+        tracker.ingest_fix(1.0, 2, [4.0, 4.0])
+        assert np.allclose(tracker.estimate(2).position_xy, [4.0, 4.0])
+
+    def test_end_to_end_with_network_sim(self):
+        from repro.simulate import NetworkSimulator, testbed_scenario
+
+        rng = np.random.default_rng(5)
+        scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+        sim = NetworkSimulator(scenario, rng=rng)
+        tracker = GroupTracker(num_devices=5)
+        errors = []
+        t = 0.0
+        for outcome in sim.run_many(8):
+            tracker.ingest_round(t, outcome)
+            truth = outcome.true_positions_leader_frame
+            for dev in range(1, 5):
+                est = tracker.estimate(dev)
+                errors.append(np.linalg.norm(est.position_xy - truth[dev, :2]))
+            t += 4.0
+        # Fused static-group error comparable to (or better than) raw
+        # per-round medians.
+        assert np.median(errors) < 2.0

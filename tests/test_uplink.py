@@ -1,0 +1,146 @@
+"""Tests for the uplink report compression (paper section 2.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError
+from repro.protocol.messages import TimestampReport
+from repro.protocol.slots import assigned_slot_time
+from repro.protocol.uplink import (
+    MISSING_CODE,
+    communication_latency_s,
+    decode_report,
+    dequantize_depth,
+    dequantize_timestamp_offset,
+    encode_report,
+    normalize_report_to_leader_zero,
+    quantize_depth,
+    quantize_timestamp_offset,
+    report_num_bits,
+)
+
+
+class TestQuantisation:
+    def test_depth_resolution(self):
+        assert dequantize_depth(quantize_depth(3.14)) == pytest.approx(3.2)
+        assert dequantize_depth(quantize_depth(0.0)) == 0.0
+
+    def test_depth_clamped(self):
+        assert dequantize_depth(quantize_depth(55.0)) <= 40.0 + 0.2
+        assert dequantize_depth(quantize_depth(-3.0)) == 0.0
+
+    @given(h=st.floats(0.0, 40.0))
+    def test_depth_error_bounded(self, h):
+        recovered = dequantize_depth(quantize_depth(h))
+        assert abs(recovered - h) <= 0.1 + 1e-9
+
+    def test_timestamp_resolution_two_samples(self):
+        offset = 100 / 44_100.0
+        code = quantize_timestamp_offset(offset)
+        assert code == 50
+        assert dequantize_timestamp_offset(code) == pytest.approx(offset)
+
+    def test_timestamp_out_of_range(self):
+        assert quantize_timestamp_offset(0.05) is None  # > 42 ms
+        assert quantize_timestamp_offset(-0.01) is None
+
+    def test_small_negative_clamped(self):
+        assert quantize_timestamp_offset(-0.0004) == 0
+        assert quantize_timestamp_offset(-0.001) is None
+
+    @given(offset=st.floats(0.0, 0.0419))
+    def test_timestamp_error_bounded(self, offset):
+        code = quantize_timestamp_offset(offset)
+        if code is None:
+            return
+        recovered = dequantize_timestamp_offset(code)
+        assert abs(recovered - offset) <= 1.01 / 44_100.0
+
+
+class TestReportCodec:
+    def test_bit_budget_matches_paper(self):
+        # 10 (N-1) + 8 bits per device.
+        assert report_num_bits(6) == 58
+        assert report_num_bits(8) == 78
+
+    def _report(self, device_id=2, n=5):
+        receptions = {0: 0.0}
+        for j in range(1, n):
+            if j == device_id:
+                continue
+            receptions[j] = assigned_slot_time(j) + 0.010 + 0.001 * j
+        return TimestampReport(
+            device_id=device_id,
+            depth_m=4.6,
+            own_tx_local_s=assigned_slot_time(device_id),
+            receptions=receptions,
+        )
+
+    def test_roundtrip(self):
+        n = 5
+        report = self._report(2, n)
+        bits = encode_report(report, n)
+        assert len(bits) == report_num_bits(n)
+        decoded = decode_report(bits, 2, n)
+        assert decoded.depth_m == pytest.approx(4.6, abs=0.11)
+        for j, t in report.receptions.items():
+            assert decoded.receptions[j] == pytest.approx(t, abs=2.1 / 44_100.0)
+
+    def test_missing_sender_encoded(self):
+        n = 5
+        report = self._report(2, n)
+        del report.receptions[3]
+        bits = encode_report(report, n)
+        decoded = decode_report(bits, 2, n)
+        assert 3 not in decoded.receptions
+
+    def test_out_of_window_offset_becomes_missing(self):
+        n = 4
+        report = self._report(2, n)
+        report.receptions[3] = assigned_slot_time(3) + 0.05  # > 2 tau_max
+        decoded = decode_report(encode_report(report, n), 2, n)
+        assert 3 not in decoded.receptions
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_report([0, 1], 2, 5)
+
+    def test_missing_code_reserved(self):
+        assert MISSING_CODE == 1023
+
+    def test_normalize_to_leader_zero(self):
+        report = TimestampReport(
+            device_id=1,
+            depth_m=2.0,
+            own_tx_local_s=105.6,
+            receptions={0: 105.0, 2: 105.95},
+        )
+        shifted, ok = normalize_report_to_leader_zero(report, 3)
+        assert ok
+        assert shifted.receptions[0] == pytest.approx(0.0)
+        assert shifted.own_tx_local_s == pytest.approx(0.6)
+        assert shifted.receptions[2] == pytest.approx(0.95)
+
+    def test_normalize_without_leader(self):
+        report = TimestampReport(
+            device_id=2, depth_m=1.0, own_tx_local_s=0.92, receptions={1: 0.3}
+        )
+        shifted, ok = normalize_report_to_leader_zero(report, 3)
+        assert not ok
+        assert shifted is report
+
+
+class TestCommLatency:
+    def test_paper_values(self):
+        # ~0.9 / 1.0 / 1.2 s for N = 6/7/8 (coded at 2/3, 100 bps).
+        assert communication_latency_s(6) == pytest.approx(0.87, abs=0.02)
+        assert communication_latency_s(7) == pytest.approx(1.02, abs=0.02)
+        assert communication_latency_s(8) == pytest.approx(1.17, abs=0.02)
+
+    def test_scales_linearly(self):
+        deltas = [
+            communication_latency_s(n + 1) - communication_latency_s(n)
+            for n in range(4, 9)
+        ]
+        assert np.allclose(deltas, deltas[0])
