@@ -21,7 +21,11 @@ from repro.experiments.fig06_analytical import (
 SAMPLES = 60  # paper: 200; reduced for bench runtime, same shape
 
 
-def test_fig6_sweeps(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig6"
+
+
+def test_fig6_sweeps(benchmark, rng, report, spec):
     a = run_fig6a(rng, num_samples=SAMPLES)
     b = run_fig6b(rng, num_samples=SAMPLES)
     c = run_fig6c(rng, num_samples=SAMPLES)

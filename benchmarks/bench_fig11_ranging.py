@@ -13,7 +13,11 @@ from repro.channel.environment import DOCK
 from repro.signals.preamble import make_preamble
 
 
-def test_fig11a_ranging_cdf(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig11"
+
+
+def test_fig11a_ranging_cdf(benchmark, rng, report, spec):
     results = run_ranging_sweep(rng, num_exchanges=40)
     report(format_ranging_sweep(results))
     medians = {int(r.distance_m): r.summary.median for r in results}
@@ -32,7 +36,7 @@ def test_fig11a_ranging_cdf(benchmark, rng, report):
     )
 
 
-def test_fig11b_mic_ablation(benchmark, rng, report):
+def test_fig11b_mic_ablation(benchmark, rng, report, spec):
     results = run_mic_ablation(rng, num_exchanges=25)
     report(format_mic_ablation(results))
     benchmark.extra_info["p95_rows"] = [

@@ -10,7 +10,11 @@ from repro.experiments.fig12_baselines import (
 )
 
 
-def test_fig12a_detection(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig12"
+
+
+def test_fig12a_detection(benchmark, rng, report, spec):
     results = run_detection_comparison(rng, num_trials=30)
     report(format_detection(results))
     ours = [r for r in results if r.detector == "ours"]
@@ -34,7 +38,7 @@ def test_fig12a_detection(benchmark, rng, report):
     )
 
 
-def test_fig12b_baseline_ranging(benchmark, rng, report):
+def test_fig12b_baseline_ranging(benchmark, rng, report, spec):
     results = run_baseline_ranging(rng, num_exchanges=20)
     report(format_baseline_ranging(results))
     by_algo = {}

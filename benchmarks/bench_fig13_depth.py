@@ -10,7 +10,11 @@ from repro.experiments.fig13_depth import (
 )
 
 
-def test_fig13a_depth_sweep(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig13"
+
+
+def test_fig13a_depth_sweep(benchmark, rng, report, spec):
     results = run_depth_sweep(rng, num_exchanges=30)
     report(format_depth_sweep(results))
     by_depth = {r.depth_m: r.summary.median for r in results}
@@ -29,7 +33,7 @@ def test_fig13a_depth_sweep(benchmark, rng, report):
     )
 
 
-def test_fig13b_depth_sensors(benchmark, rng, report):
+def test_fig13b_depth_sensors(benchmark, rng, report, spec):
     results = run_depth_sensor_accuracy(rng, readings_per_depth=40)
     report(format_depth_sensors(results))
     by_name = {r.sensor: r for r in results}

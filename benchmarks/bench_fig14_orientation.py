@@ -10,7 +10,11 @@ from repro.experiments.fig14_orientation import (
 )
 
 
-def test_fig14a_orientation(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig14"
+
+
+def test_fig14a_orientation(benchmark, rng, report, spec):
     results = run_orientation_sweep(rng, num_exchanges=25)
     report(format_orientation(results))
     by_label = {r.label: r.summary.median for r in results}
@@ -36,7 +40,7 @@ def test_fig14a_orientation(benchmark, rng, report):
     )
 
 
-def test_fig14b_model_pairs(benchmark, rng, report):
+def test_fig14b_model_pairs(benchmark, rng, report, spec):
     results = run_model_pairs(rng, num_exchanges=25)
     report(format_model_pairs(results))
     medians = {r.pair: r.summary.median for r in results}

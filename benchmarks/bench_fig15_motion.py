@@ -8,7 +8,11 @@ from repro.experiments.fig15_motion import (
 )
 
 
-def test_fig15_motion_tracking(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig15"
+
+
+def test_fig15_motion_tracking(benchmark, rng, report, spec):
     results = run_motion_tracking(rng, duration_s=40.0)
     report(format_motion(results))
     all_errors = np.concatenate(

@@ -10,7 +10,11 @@ from repro.experiments.fig16_pointing import (
 )
 
 
-def test_fig16_pointing(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig16"
+
+
+def test_fig16_pointing(benchmark, rng, report, spec):
     results = run_pointing_study(rng, trials_per_point=30)
     report(format_pointing(results))
     mean = overall_mean_deg(results)

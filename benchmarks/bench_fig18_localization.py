@@ -9,7 +9,11 @@ from repro.experiments.fig18_localization import (
 )
 
 
-def test_fig18_dock(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig18"
+
+
+def test_fig18_dock(benchmark, rng, report, spec):
     result = run_localization_study(rng, site="dock", num_layouts=8, rounds_per_layout=6)
     report(format_localization(result))
     benchmark.extra_info["median"] = result.overall.median
@@ -34,7 +38,7 @@ def test_fig18_dock(benchmark, rng, report):
     )
 
 
-def test_fig18_boathouse(benchmark, rng, report):
+def test_fig18_boathouse(benchmark, rng, report, spec):
     result = run_localization_study(
         rng, site="boathouse", num_layouts=8, rounds_per_layout=6
     )

@@ -10,7 +10,11 @@ from repro.experiments.fig19_robustness import (
 )
 
 
-def test_fig19a_occlusion(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig19"
+
+
+def test_fig19a_occlusion(benchmark, rng, report, spec):
     result = run_occlusion_study(rng, num_layouts=8, rounds_per_layout=5)
     report(format_occlusion(result))
     benchmark.extra_info["median_with"] = result.with_detection.median
@@ -31,7 +35,7 @@ def test_fig19a_occlusion(benchmark, rng, report):
     )
 
 
-def test_fig19b_removal(benchmark, rng, report):
+def test_fig19b_removal(benchmark, rng, report, spec):
     result = run_removal_study(rng, num_layouts=8, rounds_per_layout=5)
     report(format_removal(result))
     benchmark.extra_info["median_full"] = result.fully_connected.median

@@ -5,7 +5,11 @@ import numpy as np
 from repro.experiments.fig20_mobility import format_mobility, run_mobility_study
 
 
-def test_fig20_mobility(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig20"
+
+
+def test_fig20_mobility(benchmark, rng, report, spec):
     result1 = run_mobility_study(rng, moving_device=1, num_rounds=20)
     result2 = run_mobility_study(rng, moving_device=2, num_rounds=20)
     report(format_mobility(result1))

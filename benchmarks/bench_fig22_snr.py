@@ -5,7 +5,11 @@ import numpy as np
 from repro.experiments.fig22_snr import format_snr, run_snr_measurement
 
 
-def test_fig22_snr(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "fig22"
+
+
+def test_fig22_snr(benchmark, rng, report, spec):
     profiles = run_snr_measurement(rng)
     report(format_snr(profiles))
     medians = {int(p.distance_m): p.median_snr_db for p in profiles}

@@ -18,7 +18,11 @@ from repro.experiments.tables import (
 )
 
 
-def test_table_protocol_latency(benchmark, rng, report):
+#: Campaign-registry entry backing this bench (see conftest ``spec``).
+EXPERIMENT = "tables"
+
+
+def test_table_protocol_latency(benchmark, rng, report, spec):
     results = run_round_times(rng, rounds_per_count=6)
     report(format_round_times(results))
     for r in results:
@@ -36,7 +40,7 @@ def test_table_protocol_latency(benchmark, rng, report):
     )
 
 
-def test_table_flipping_accuracy(benchmark, rng, report):
+def test_table_flipping_accuracy(benchmark, rng, report, spec):
     results = run_flipping_accuracy(rng, num_rounds=50)
     report(format_flipping(results))
     by_voters = {r.num_voters: r.accuracy for r in results}
@@ -56,7 +60,7 @@ def test_table_flipping_accuracy(benchmark, rng, report):
     )
 
 
-def test_table_comm_latency(benchmark, report):
+def test_table_comm_latency(benchmark, report, spec):
     latencies = run_comm_latency()
     report(format_comm_latency(latencies))
     benchmark.extra_info["latency_s"] = latencies
@@ -66,7 +70,7 @@ def test_table_comm_latency(benchmark, report):
     benchmark.pedantic(run_comm_latency, rounds=10, iterations=5)
 
 
-def test_table_battery(benchmark, report):
+def test_table_battery(benchmark, report, spec):
     results = run_battery_model()
     report(format_battery(results))
     by_model = {r.model: r.battery_drop_fraction for r in results}

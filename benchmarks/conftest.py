@@ -18,6 +18,22 @@ def rng():
 
 
 @pytest.fixture()
+def spec(request, benchmark):
+    """The campaign-registry spec for this bench module.
+
+    Each ``bench_*`` module names its experiment via a module-level
+    ``EXPERIMENT`` constant; the registry is the single source of the
+    paper-reference numbers stamped into ``benchmark.extra_info``.
+    """
+    from repro.experiments.engine import get_spec
+
+    spec = get_spec(request.module.EXPERIMENT)
+    benchmark.extra_info["paper_ref"] = spec.paper_ref
+    benchmark.extra_info["paper"] = dict(spec.paper)
+    return spec
+
+
+@pytest.fixture()
 def report(capsys):
     """Print experiment output even under pytest's capture."""
 

@@ -1,0 +1,510 @@
+"""Campaign engine: experiment registry, seeded substreams, parallel runs.
+
+Every paper figure/table registers an :class:`ExperimentSpec` (name,
+entry point, paper-reference numbers, cost hint, scenario variants)
+via the :func:`register` decorator.  The campaign runner fans the
+selected experiments out over a ``ProcessPoolExecutor`` and collects
+structured :class:`ExperimentResult` artifacts (measured vs. paper
+numbers, seed provenance, wall time) that serialise to JSON.
+
+Seeding scheme
+--------------
+A campaign has one ``base_seed``.  ``np.random.SeedSequence(base_seed)``
+is spawned once per *registered* experiment in the fixed canonical
+order (:data:`CANONICAL_ORDER`), and each experiment's child sequence
+is spawned once per *declared* variant.  Because the spawn fan-out
+covers the whole registry — not just the selected subset — the
+substream an experiment sees depends only on ``(base_seed, experiment,
+variant)``, never on which other experiments run or in what order, and
+serial runs match parallel runs bit for bit.  Ad-hoc sweep variants
+(built at campaign time via ``sweep=``) extend the experiment child's
+``spawn_key`` with a CRC32 of the variant name, which keeps them just
+as order-independent without perturbing the declared variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import time
+import traceback
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default campaign seed (the paper's publication year, as in the seed repo).
+DEFAULT_BASE_SEED = 2023
+
+#: Canonical experiment order: defines both registry import order and the
+#: ``SeedSequence.spawn`` fan-out, so it must only ever be appended to.
+CANONICAL_ORDER: Tuple[str, ...] = (
+    "fig6",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig22",
+    "tables",
+)
+
+#: Modules whose import registers the canonical experiments.
+EXPERIMENT_MODULES: Tuple[str, ...] = (
+    "repro.experiments.fig06_analytical",
+    "repro.experiments.fig11_ranging",
+    "repro.experiments.fig12_baselines",
+    "repro.experiments.fig13_depth",
+    "repro.experiments.fig14_orientation",
+    "repro.experiments.fig15_motion",
+    "repro.experiments.fig16_pointing",
+    "repro.experiments.fig18_localization",
+    "repro.experiments.fig19_robustness",
+    "repro.experiments.fig20_mobility",
+    "repro.experiments.fig22_snr",
+    "repro.experiments.tables",
+)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One scenario variant of an experiment (e.g. a deployment site)."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry for one paper figure/table.
+
+    Attributes
+    ----------
+    name:
+        Short CLI name (``fig11``, ``tables``).
+    title:
+        Human-readable one-liner.
+    paper_ref:
+        Where in the paper the numbers come from (``"Fig. 11"``).
+    paper:
+        The paper-reported reference numbers (JSON-serialisable).
+    cost:
+        Rough cost hint: ``cheap`` / ``moderate`` / ``heavy``.
+    module / entry:
+        Import path and attribute of the campaign entry point, so a
+        worker process can resolve the callable without pickling it.
+    variants:
+        Declared scenario variants; each gets its own seeded substream.
+    sweepable:
+        Parameter names a campaign-level ``sweep`` may vary.
+    """
+
+    name: str
+    title: str
+    paper_ref: str
+    paper: Mapping[str, Any] = field(default_factory=dict)
+    cost: str = "moderate"
+    module: str = ""
+    entry: str = "campaign"
+    variants: Tuple[Variant, ...] = (Variant("default"),)
+    sweepable: frozenset = frozenset()
+
+    def variant(self, name: str) -> Variant:
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise KeyError(f"{self.name} has no variant {name!r}")
+
+    def resolve_entry(self) -> Callable:
+        return getattr(importlib.import_module(self.module), self.entry)
+
+
+@dataclass
+class ExperimentOutput:
+    """What a campaign entry point returns.
+
+    ``measured`` holds the headline numbers as plain (JSON-friendly)
+    structures; ``report`` is the human-readable paper-vs-measured
+    comparison previously only printed by the serial runner.
+    """
+
+    measured: Dict[str, Any]
+    report: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """One completed (experiment, variant) job of a campaign."""
+
+    experiment: str
+    variant: str
+    title: str
+    paper_ref: str
+    params: Dict[str, Any]
+    base_seed: int
+    spawn_key: Tuple[int, ...]
+    status: str
+    measured: Dict[str, Any]
+    paper: Dict[str, Any]
+    report: str
+    wall_time_s: float
+    error: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return (
+            self.experiment
+            if self.variant == "default"
+            else f"{self.experiment}/{self.variant}"
+        )
+
+    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        out = {
+            "experiment": self.experiment,
+            "variant": self.variant,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "params": jsonify(self.params),
+            "seed": {
+                "base_seed": self.base_seed,
+                "spawn_key": list(self.spawn_key),
+            },
+            "status": self.status,
+            "paper": jsonify(self.paper),
+            "measured": jsonify(self.measured),
+            "report": self.report,
+            "error": self.error,
+        }
+        if include_timing:
+            out["wall_time_s"] = self.wall_time_s
+        return out
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+_LOADED = False
+
+
+def register(
+    *,
+    name: str,
+    title: str,
+    paper_ref: str,
+    paper: Optional[Mapping[str, Any]] = None,
+    cost: str = "moderate",
+    variants: Optional[Sequence[Variant]] = None,
+    sweepable: Iterable[str] = (),
+) -> Callable:
+    """Decorator: register ``func`` as the campaign entry for ``name``."""
+
+    def deco(func: Callable) -> Callable:
+        spec = ExperimentSpec(
+            name=name,
+            title=title,
+            paper_ref=paper_ref,
+            paper=dict(paper or {}),
+            cost=cost,
+            module=func.__module__,
+            entry=func.__name__,
+            variants=tuple(variants) if variants else (Variant("default"),),
+            sweepable=frozenset(sweepable),
+        )
+        _REGISTRY[name] = spec
+        func.spec = spec
+        return func
+
+    return deco
+
+
+def load_registry() -> Dict[str, ExperimentSpec]:
+    """Import every experiment module and return the populated registry."""
+    global _LOADED
+    if not _LOADED:
+        for module in EXPERIMENT_MODULES:
+            importlib.import_module(module)
+        missing = [n for n in CANONICAL_ORDER if n not in _REGISTRY]
+        if missing:
+            raise RuntimeError(f"experiments missing registry entries: {missing}")
+        _LOADED = True
+    return _REGISTRY
+
+
+def registry() -> Dict[str, ExperimentSpec]:
+    """The registry in canonical order (loads it on first use)."""
+    load_registry()
+    ordered = {n: _REGISTRY[n] for n in CANONICAL_ORDER}
+    ordered.update({n: s for n, s in _REGISTRY.items() if n not in ordered})
+    return ordered
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    load_registry()
+    return _REGISTRY[name]
+
+
+def scaled(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale a trial count, never below ``minimum`` (for --scale sweeps)."""
+    return max(minimum, int(round(count * scale)))
+
+
+# ---------------------------------------------------------------------------
+# Seeding
+# ---------------------------------------------------------------------------
+
+
+def experiment_seed_sequence(
+    name: str, base_seed: int = DEFAULT_BASE_SEED
+) -> np.random.SeedSequence:
+    """The experiment-level substream (independent of selection)."""
+    load_registry()
+    names = [n for n in CANONICAL_ORDER if n in _REGISTRY]
+    names += [n for n in _REGISTRY if n not in names]
+    children = np.random.SeedSequence(base_seed).spawn(len(names))
+    return children[names.index(name)]
+
+
+def variant_seed_sequence(
+    name: str, variant_name: str = "default", base_seed: int = DEFAULT_BASE_SEED
+) -> np.random.SeedSequence:
+    """The (experiment, variant) substream.
+
+    Declared variants use a second ``spawn`` level over the spec's
+    static variant list; ad-hoc (sweep-built) variants extend the
+    experiment child's ``spawn_key`` with a CRC32 of the variant name.
+    """
+    child = experiment_seed_sequence(name, base_seed)
+    spec = get_spec(name)
+    declared = [v.name for v in spec.variants]
+    if variant_name in declared:
+        return child.spawn(len(declared))[declared.index(variant_name)]
+    key = zlib.crc32(variant_name.encode("utf-8"))
+    return np.random.SeedSequence(
+        entropy=child.entropy, spawn_key=tuple(child.spawn_key) + (key,)
+    )
+
+
+def experiment_rng(
+    name: str, variant: str = "default", base_seed: int = DEFAULT_BASE_SEED
+) -> np.random.Generator:
+    """A ready-to-use generator on the (experiment, variant) substream."""
+    return np.random.default_rng(variant_seed_sequence(name, variant, base_seed))
+
+
+# ---------------------------------------------------------------------------
+# Scenario sweeps
+# ---------------------------------------------------------------------------
+
+
+def sweep_variants(grid: Mapping[str, Sequence[Any]]) -> Tuple[Variant, ...]:
+    """Cartesian-product variants from a parameter grid.
+
+    ``sweep_variants({"site": ["dock", "boathouse"], "num_devices": [4, 5]})``
+    yields four variants named ``site=dock,num_devices=4`` etc., in
+    row-major order of the grid's insertion order.
+    """
+    variants: List[Variant] = [Variant("default")]
+    for param, values in grid.items():
+        expanded: List[Variant] = []
+        for base in variants:
+            for value in values:
+                label = f"{param}={value}"
+                name = label if base.name == "default" else f"{base.name},{label}"
+                expanded.append(Variant(name, {**dict(base.params), param: value}))
+        variants = expanded
+    return tuple(variants)
+
+
+def _plan_jobs(
+    names: Sequence[str],
+    sweep: Optional[Mapping[str, Sequence[Any]]],
+) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """(experiment, variant-name, params) jobs in deterministic order."""
+    jobs: List[Tuple[str, str, Dict[str, Any]]] = []
+    for name in names:
+        spec = get_spec(name)
+        applicable = {
+            k: v for k, v in (sweep or {}).items() if k in spec.sweepable
+        }
+        variants = sweep_variants(applicable) if applicable else spec.variants
+        for variant in variants:
+            jobs.append((name, variant.name, dict(variant.params)))
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _execute(
+    name: str,
+    variant_name: str,
+    params: Dict[str, Any],
+    base_seed: int,
+    scale: float,
+) -> ExperimentResult:
+    """Run one (experiment, variant) job; module-level so workers can run it."""
+    spec = get_spec(name)
+    seed_seq = variant_seed_sequence(name, variant_name, base_seed)
+    rng = np.random.default_rng(seed_seq)
+    start = time.perf_counter()
+    try:
+        output = spec.resolve_entry()(rng, scale=scale, **params)
+        status, error = "ok", None
+        measured, report = output.measured, output.report
+    except Exception:
+        status, error = "error", traceback.format_exc(limit=8)
+        measured, report = {}, ""
+    return ExperimentResult(
+        experiment=name,
+        variant=variant_name,
+        title=spec.title,
+        paper_ref=spec.paper_ref,
+        params=params,
+        base_seed=base_seed,
+        spawn_key=tuple(int(k) for k in seed_seq.spawn_key),
+        status=status,
+        measured=measured,
+        paper=dict(spec.paper),
+        report=report,
+        wall_time_s=time.perf_counter() - start,
+        error=error,
+    )
+
+
+def run_campaign(
+    names: Optional[Sequence[str]] = None,
+    *,
+    base_seed: int = DEFAULT_BASE_SEED,
+    workers: int = 1,
+    scale: float = 1.0,
+    sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+    progress: Optional[Callable[[ExperimentResult], None]] = None,
+) -> List[ExperimentResult]:
+    """Run the selected experiments (all by default), serial or parallel.
+
+    Results come back in deterministic job order regardless of
+    ``workers``; a failing experiment yields a ``status="error"``
+    result instead of aborting the campaign.
+    """
+    load_registry()
+    selected = list(names) if names else [n for n in CANONICAL_ORDER if n in _REGISTRY]
+    unknown = [n for n in selected if n not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+    jobs = _plan_jobs(selected, sweep)
+
+    results: List[ExperimentResult] = []
+    if workers <= 1:
+        for name, variant, params in jobs:
+            result = _execute(name, variant, params, base_seed, scale)
+            if progress:
+                progress(result)
+            results.append(result)
+        return results
+
+    with ProcessPoolExecutor(max_workers=min(workers, max(len(jobs), 1))) as pool:
+        futures = [
+            pool.submit(_execute, name, variant, params, base_seed, scale)
+            for name, variant, params in jobs
+        ]
+        for future in futures:
+            result = future.result()
+            if progress:
+                progress(result)
+            results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Artifacts
+# ---------------------------------------------------------------------------
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert results to JSON-clean structures.
+
+    numpy scalars/arrays become Python numbers/lists, mapping keys
+    become strings, tuples become lists, dataclasses become dicts and
+    non-finite floats become ``None`` (so artifacts stay strict JSON).
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonify(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {_key_str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonify(v) for v in value]
+    return str(value)
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, np.generic):
+        key = key.item()
+    if isinstance(key, float) and key.is_integer():
+        key = int(key)
+    if isinstance(key, tuple):
+        return "-".join(str(jsonify(k)) for k in key)
+    return str(key)
+
+
+def campaign_to_dict(
+    results: Sequence[ExperimentResult],
+    *,
+    base_seed: int = DEFAULT_BASE_SEED,
+    include_timing: bool = False,
+) -> Dict[str, Any]:
+    """The machine-readable campaign artifact.
+
+    Timing is excluded by default so that runs with the same seed are
+    byte-identical no matter how many workers produced them.
+    """
+    return {
+        "schema": "repro-campaign/1",
+        "base_seed": base_seed,
+        "experiments": [r.to_dict(include_timing) for r in results],
+    }
+
+
+def campaign_to_json(
+    results: Sequence[ExperimentResult],
+    *,
+    base_seed: int = DEFAULT_BASE_SEED,
+    include_timing: bool = False,
+) -> str:
+    return json.dumps(
+        campaign_to_dict(
+            results, base_seed=base_seed, include_timing=include_timing
+        ),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def write_campaign_json(
+    path: str,
+    results: Sequence[ExperimentResult],
+    *,
+    base_seed: int = DEFAULT_BASE_SEED,
+    include_timing: bool = False,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            campaign_to_json(
+                results, base_seed=base_seed, include_timing=include_timing
+            )
+        )
+        fh.write("\n")

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments import engine
 from repro.geometry.topology import (
     drop_links,
     full_weight_matrix,
@@ -199,3 +200,32 @@ def format_sweep(
         ref_str = f"{ref:.2f}" if ref is not None else "-"
         lines.append(f"  {p.parameter:>6.2f} -> {p.mean_error_m:.2f}  [{ref_str}]")
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig6",
+    title="Analytical evaluation of the topology algorithm",
+    paper_ref="Fig. 6",
+    paper={"fig6a": PAPER_FIG6A, "fig6b": PAPER_FIG6B,
+           "fig6c": PAPER_FIG6C, "fig6d": PAPER_FIG6D},
+    cost="moderate",
+    sweepable=("num_samples",),
+)
+def campaign(rng, *, scale: float = 1.0, num_samples: int = 100):
+    """All four analytical sweeps with a shared sample budget."""
+    n = engine.scaled(num_samples, scale)
+    sweeps = {
+        "fig6a": (run_fig6a(rng, num_samples=n), PAPER_FIG6A),
+        "fig6b": (run_fig6b(rng, num_samples=n), PAPER_FIG6B),
+        "fig6c": (run_fig6c(rng, num_samples=n), PAPER_FIG6C),
+        "fig6d": (run_fig6d(rng, num_samples=n), PAPER_FIG6D),
+    }
+    measured = {
+        label: {p.parameter: p.mean_error_m for p in points}
+        for label, (points, _paper) in sweeps.items()
+    }
+    report = "\n".join(
+        format_sweep(label[-1], points, paper)
+        for label, (points, paper) in sweeps.items()
+    )
+    return engine.ExperimentOutput(measured=measured, report=report)

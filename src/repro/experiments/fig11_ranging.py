@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.channel.environment import DOCK
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.ranging.detector import detect_preamble
 from repro.ranging.estimator import single_mic_direct_path
@@ -167,3 +168,40 @@ def format_mic_ablation(results: List[MicAblationResult]) -> str:
             f"{r.p95_bottom_only_m:.2f} / {r.p95_top_only_m:.2f}"
         )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig11",
+    title="1D ranging accuracy vs device separation",
+    paper_ref="Fig. 11",
+    paper={"median_error_m": PAPER_MEDIAN_ERROR_M,
+           "dual_mic_gain_45m_p95": PAPER_DUAL_MIC_GAIN_45M},
+    cost="heavy",
+    sweepable=("num_exchanges",),
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_exchanges: int = 40,
+    ablation_exchanges: int = 25,
+):
+    """Fig. 11a sweep plus the Fig. 11b microphone ablation."""
+    sweep = run_ranging_sweep(rng, num_exchanges=engine.scaled(num_exchanges, scale))
+    ablation = run_mic_ablation(
+        rng, num_exchanges=engine.scaled(ablation_exchanges, scale)
+    )
+    measured = {
+        "median_by_distance": {int(r.distance_m): r.summary.median for r in sweep},
+        "p95_by_distance": {int(r.distance_m): r.summary.p95 for r in sweep},
+        "mic_p95": {
+            int(r.distance_m): {
+                "both": r.p95_both_m,
+                "bottom": r.p95_bottom_only_m,
+                "top": r.p95_top_only_m,
+            }
+            for r in ablation
+        },
+    }
+    report = format_ranging_sweep(sweep) + "\n" + format_mic_ablation(ablation)
+    return engine.ExperimentOutput(measured=measured, report=report)

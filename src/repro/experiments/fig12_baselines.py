@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.channel.environment import BOATHOUSE
 from repro.channel.noise import make_noise
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.ranging.baselines import beepbeep_arrival, cat_fmcw_delay
 from repro.ranging.detector import DetectionConfig, detect_power_threshold, detect_preamble
@@ -232,3 +233,43 @@ def format_baseline_ranging(results: List[BaselineRangingResult]) -> str:
             f"{r.summary.mean:.2f}  [{ref_str}]"
         )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig12",
+    title="Detection and ranging vs BeepBeep and CAT",
+    paper_ref="Fig. 12",
+    paper={"mean_error_m": PAPER_FIG12B},
+    cost="heavy",
+    sweepable=("num_trials", "num_exchanges"),
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_trials: int = 40,
+    num_exchanges: int = 25,
+):
+    """Fig. 12a detector comparison plus the Fig. 12b baseline ranging."""
+    detection = run_detection_comparison(
+        rng, num_trials=engine.scaled(num_trials, scale)
+    )
+    ranging = run_baseline_ranging(
+        rng, num_exchanges=engine.scaled(num_exchanges, scale)
+    )
+    measured = {
+        "detection": {
+            f"{r.detector}@{r.threshold_db:g}dB": {
+                "false_positive": r.false_positive,
+                "false_negative": r.false_negative,
+            }
+            for r in detection
+        },
+        "mean_error_m": {},
+    }
+    for r in ranging:
+        measured["mean_error_m"].setdefault(r.algorithm, {})[
+            int(r.distance_m)
+        ] = r.summary.mean
+    report = format_detection(detection) + "\n" + format_baseline_ranging(ranging)
+    return engine.ExperimentOutput(measured=measured, report=report)

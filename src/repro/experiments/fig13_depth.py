@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.channel.environment import DOCK
 from repro.devices.sensors import phone_pressure_sensor, smartwatch_depth_gauge
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
@@ -139,3 +140,37 @@ def format_depth_sensors(results: List[DepthSensorResult]) -> str:
             f"  [{ref_str}]"
         )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig13",
+    title="Ranging vs device depth, and depth-sensor accuracy",
+    paper_ref="Fig. 13",
+    paper={"best_depth": PAPER_BEST_DEPTH, "sensors": PAPER_DEPTH_SENSORS},
+    cost="heavy",
+    sweepable=("num_exchanges",),
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_exchanges: int = 30,
+    readings_per_depth: int = 30,
+):
+    """Fig. 13a depth sweep plus the Fig. 13b sensor comparison."""
+    sweep = run_depth_sweep(rng, num_exchanges=engine.scaled(num_exchanges, scale))
+    sensors = run_depth_sensor_accuracy(
+        rng, readings_per_depth=engine.scaled(readings_per_depth, scale)
+    )
+    measured = {
+        "ranging_by_depth": {
+            int(r.depth_m): {"median": r.summary.median, "p95": r.summary.p95}
+            for r in sweep
+        },
+        "sensors": {
+            r.sensor: {"mean_abs_m": r.mean_abs_error_m, "std_abs_m": r.std_abs_error_m}
+            for r in sensors
+        },
+    }
+    report = format_depth_sweep(sweep) + "\n" + format_depth_sensors(sensors)
+    return engine.ExperimentOutput(measured=measured, report=report)

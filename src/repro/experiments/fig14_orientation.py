@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.channel.environment import DOCK
 from repro.devices.models import GOOGLE_PIXEL, ONEPLUS, SAMSUNG_S9, DeviceModel
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
@@ -128,3 +129,24 @@ def format_model_pairs(results: List[ModelPairResult]) -> str:
     for r in results:
         lines.append(f"  {r.pair:>16s} -> {r.summary.median:.2f}")
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig14",
+    title="Ranging vs phone orientation and model pairs",
+    paper_ref="Fig. 14",
+    paper={"orientation_median_range_m": PAPER_ORIENTATION_MEDIAN_RANGE},
+    cost="heavy",
+    sweepable=("num_exchanges",),
+)
+def campaign(rng, *, scale: float = 1.0, num_exchanges: int = 25):
+    """Fig. 14a orientation sweep plus the Fig. 14b model-pair study."""
+    n = engine.scaled(num_exchanges, scale)
+    orientation = run_orientation_sweep(rng, num_exchanges=n)
+    pairs = run_model_pairs(rng, num_exchanges=n)
+    measured = {
+        "orientation_median_m": {r.label: r.summary.median for r in orientation},
+        "model_pair_median_m": {r.pair: r.summary.median for r in pairs},
+    }
+    report = format_orientation(orientation) + "\n" + format_model_pairs(pairs)
+    return engine.ExperimentOutput(measured=measured, report=report)

@@ -14,6 +14,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.channel.environment import DOCK
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
 from repro.simulate.mobility import LinearBackForthTrajectory
@@ -91,3 +92,31 @@ def format_motion(results: List[MotionRangingResult]) -> str:
         f"[paper {PAPER_MOTION['median']:.2f} / {PAPER_MOTION['p95']:.2f}]"
     )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig15",
+    title="1D ranging of a continuously moving device",
+    paper_ref="Fig. 15",
+    paper={"combined": PAPER_MOTION},
+    cost="heavy",
+    sweepable=("duration_s",),
+)
+def campaign(rng, *, scale: float = 1.0, duration_s: float = 60.0):
+    """Both trajectory speeds, once per second for the scaled duration."""
+    results = run_motion_tracking(
+        rng, duration_s=max(4.0, duration_s * scale)
+    )
+    combined = summarize_errors(
+        np.concatenate(
+            [r.estimated_distances_m - r.true_distances_m for r in results]
+        )
+    )
+    measured = {
+        "by_speed": {
+            f"{r.speed_mps:g}": {"median": r.summary.median, "p95": r.summary.p95}
+            for r in results
+        },
+        "combined": {"median": combined.median, "p95": combined.p95},
+    }
+    return engine.ExperimentOutput(measured=measured, report=format_motion(results))

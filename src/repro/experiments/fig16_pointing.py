@@ -16,6 +16,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.experiments import engine
+
 #: Paper: mean pointing error across both users and all distances.
 PAPER_MEAN_POINTING_DEG = 5.0
 
@@ -75,3 +77,25 @@ def format_pointing(results: List[PointingTrialSet]) -> str:
         f"[paper {PAPER_MEAN_POINTING_DEG:.1f}]"
     )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig16",
+    title="Human leader-orientation (pointing) accuracy",
+    paper_ref="Fig. 16",
+    paper={"mean_pointing_deg": PAPER_MEAN_POINTING_DEG},
+    cost="cheap",
+    sweepable=("trials_per_point",),
+)
+def campaign(rng, *, scale: float = 1.0, trials_per_point: int = 12):
+    """The two-user pointing study at all four distances."""
+    results = run_pointing_study(
+        rng, trials_per_point=engine.scaled(trials_per_point, scale)
+    )
+    measured = {
+        "mean_pointing_deg": overall_mean_deg(results),
+        "per_user_distance_deg": {
+            f"{r.user}@{r.distance_m:g}m": r.mean_deg for r in results
+        },
+    }
+    return engine.ExperimentOutput(measured=measured, report=format_pointing(results))

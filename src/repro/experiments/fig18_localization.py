@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.simulate.network_sim import NetworkSimulator, RangingErrorModel
 from repro.simulate.scenario import testbed_scenario
@@ -111,3 +112,45 @@ def format_localization(result: LocalizationStudyResult) -> str:
             f"p95 {summary.p95:.2f} (n={summary.count})"
         )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig18",
+    title="2D localization accuracy in 5-device testbeds",
+    paper_ref="Fig. 18",
+    paper={"median_p95_by_site": PAPER_FIG18},
+    cost="moderate",
+    variants=(
+        engine.Variant("dock", {"site": "dock"}),
+        engine.Variant("boathouse", {"site": "boathouse"}),
+    ),
+    sweepable=("site", "num_devices"),
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    site: str = "dock",
+    num_devices: int = 5,
+    num_layouts: int = 8,
+):
+    """The per-site localization study (one variant per deployment)."""
+    result = run_localization_study(
+        rng,
+        site=site,
+        num_devices=num_devices,
+        num_layouts=engine.scaled(num_layouts, scale),
+    )
+    measured = {
+        "site": site,
+        "median": result.overall.median,
+        "p95": result.overall.p95,
+        "count": result.overall.count,
+        "by_bucket": {
+            f"{low:g}-{high:g}": {"median": s.median, "p95": s.p95, "n": s.count}
+            for (low, high), s in sorted(result.by_bucket.items())
+        },
+    }
+    return engine.ExperimentOutput(
+        measured=measured, report=format_localization(result)
+    )

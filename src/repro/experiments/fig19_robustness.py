@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, percentile_band, summarize_errors
 from repro.simulate.network_sim import NetworkSimulator, RangingErrorModel
 from repro.simulate.scenario import testbed_scenario
@@ -174,3 +175,41 @@ def format_removal(result: RemovalStudyResult) -> str:
             f"[{ref['median']:.1f} / {ref['p95']:.1f}]"
         )
     return "\n".join(lines)
+
+
+def _median_p95(summary: ErrorSummary) -> dict:
+    return {"median": summary.median, "p95": summary.p95}
+
+
+@engine.register(
+    name="fig19",
+    title="Robustness to occluded links and removals",
+    paper_ref="Fig. 19",
+    paper={
+        "occlusion": PAPER_OCCLUSION,
+        "link_removal": PAPER_LINK_REMOVAL,
+        "fully_connected": PAPER_FULLY_CONNECTED,
+        "node_removal_4dev": PAPER_4_DEVICE,
+    },
+    cost="moderate",
+    sweepable=("num_layouts",),
+)
+def campaign(rng, *, scale: float = 1.0, num_layouts: int = 8):
+    """Fig. 19a occlusion ablation plus the Fig. 19b removal study."""
+    layouts = engine.scaled(num_layouts, scale)
+    occlusion = run_occlusion_study(rng, num_layouts=layouts)
+    removal = run_removal_study(rng, num_layouts=layouts)
+    measured = {
+        "occlusion": {
+            "with_detection": _median_p95(occlusion.with_detection),
+            "without_detection": _median_p95(occlusion.without_detection),
+            "detection_drop_rate": occlusion.detection_drop_rate,
+        },
+        "removal": {
+            "fully_connected": _median_p95(removal.fully_connected),
+            "link_dropped": _median_p95(removal.link_dropped),
+            "node_dropped": _median_p95(removal.node_dropped),
+        },
+    }
+    report = format_occlusion(occlusion) + "\n" + format_removal(removal)
+    return engine.ExperimentOutput(measured=measured, report=report)

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.simulate.mobility import LinearBackForthTrajectory
 from repro.simulate.network_sim import NetworkSimulator
@@ -105,3 +106,32 @@ def format_mobility(result: MobilityStudyResult) -> str:
         "  [paper: user1 0.2->0.3 m when moving; user2 0.4->0.8 m when moving]"
     )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig20",
+    title="2D localization with a moving device",
+    paper_ref="Fig. 20",
+    paper={"median_m": PAPER_FIG20},
+    cost="moderate",
+    variants=(
+        engine.Variant("device1", {"moving_device": 1}),
+        engine.Variant("device2", {"moving_device": 2}),
+    ),
+    sweepable=("moving_device",),
+)
+def campaign(rng, *, scale: float = 1.0, moving_device: int = 1, num_rounds: int = 24):
+    """Static-vs-moving medians with one device in motion per variant."""
+    result = run_mobility_study(
+        rng, moving_device=moving_device, num_rounds=engine.scaled(num_rounds, scale)
+    )
+    measured = {
+        "moving_device": result.moving_device,
+        "static_median_m": {
+            i: s.median for i, s in sorted(result.static_summaries.items())
+        },
+        "moving_median_m": {
+            i: s.median for i, s in sorted(result.moving_summaries.items())
+        },
+    }
+    return engine.ExperimentOutput(measured=measured, report=format_mobility(result))

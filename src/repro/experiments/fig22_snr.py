@@ -18,6 +18,7 @@ from repro.channel.environment import BOATHOUSE
 from repro.channel.multipath import image_method_taps
 from repro.channel.noise import make_noise
 from repro.channel.render import apply_channel
+from repro.experiments import engine
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
 
 #: Paper: rough SNR ranges (dB) visible in Fig. 22 per distance.
@@ -100,3 +101,24 @@ def format_snr(profiles: List[SnrProfile]) -> str:
             f"{p.snr_db.min():5.1f} / {p.snr_db.max():5.1f}  [{ref_str}]"
         )
     return "\n".join(lines)
+
+
+@engine.register(
+    name="fig22",
+    title="Per-subcarrier SNR between two phones",
+    paper_ref="Fig. 22",
+    paper={"snr_range_db": PAPER_SNR_RANGE_DB},
+    cost="cheap",
+    sweepable=("num_symbols",),
+)
+def campaign(rng, *, scale: float = 1.0, num_symbols: int = 8):
+    """SNR profiles at 10/20/28 m (scale bounds the symbol count)."""
+    profiles = run_snr_measurement(
+        rng, num_symbols=engine.scaled(num_symbols, scale, minimum=2)
+    )
+    measured = {
+        "median_snr_db": {int(p.distance_m): p.median_snr_db for p in profiles},
+        "min_snr_db": {int(p.distance_m): float(p.snr_db.min()) for p in profiles},
+        "max_snr_db": {int(p.distance_m): float(p.snr_db.max()) for p in profiles},
+    }
+    return engine.ExperimentOutput(measured=measured, report=format_snr(profiles))

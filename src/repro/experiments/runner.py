@@ -1,187 +1,180 @@
-"""Run every paper experiment and print the comparison report.
+"""Campaign CLI: run paper experiments in parallel with seeded substreams.
 
 Usage::
 
-    python -m repro.experiments.runner              # everything
-    python -m repro.experiments.runner fig11 tables # a subset
+    python -m repro.experiments.runner                       # everything, serial
+    python -m repro.experiments.runner fig11 tables          # a subset
+    python -m repro.experiments.runner --workers 4 --json results.json
+    python -m repro.experiments.runner fig18 --sweep site=dock,boathouse
+    python -m repro.experiments.runner --list                # registry overview
 
-Benchmarks under ``benchmarks/`` wrap the same experiment functions for
-pytest-benchmark; this runner is the plain-console equivalent (useful
-for regenerating EXPERIMENTS.md numbers or exploring parameters).
+Every experiment draws from its own ``np.random.SeedSequence``
+substream (see :mod:`repro.experiments.engine`), so the measured
+numbers depend only on ``--seed`` — not on worker count, selection, or
+execution order.  ``--json`` writes a machine-readable artifact with
+paper-vs-measured values for every selected experiment; it is
+byte-identical for serial and parallel runs unless ``--timing`` is
+given.  Benchmarks under ``benchmarks/`` wrap the same registry entries
+for pytest-benchmark.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
-from typing import Callable, Dict
+from typing import Any, Dict, List, Optional
 
-import numpy as np
+from repro.experiments import engine
+from repro.experiments.engine import (
+    DEFAULT_BASE_SEED,
+    ExperimentResult,
+    run_campaign,
+    write_campaign_json,
+)
+
+def __getattr__(name: str) -> Any:
+    """Lazy registry view kept for backwards compatibility (name -> spec).
+
+    Resolving ``EXPERIMENTS`` imports all experiment modules, so it is
+    deferred until first use — ``--help`` and argparse-error paths stay
+    cheap.
+    """
+    if name == "EXPERIMENTS":
+        return engine.registry()
+    raise AttributeError(name)
 
 
-def _fig6(rng):
-    from repro.experiments.fig06_analytical import (
-        PAPER_FIG6A,
-        PAPER_FIG6B,
-        PAPER_FIG6C,
-        PAPER_FIG6D,
-        format_sweep,
-        run_fig6a,
-        run_fig6b,
-        run_fig6c,
-        run_fig6d,
+def _parse_sweep(entries: Optional[List[str]]) -> Dict[str, List[Any]]:
+    """``["site=dock,boathouse"]`` -> ``{"site": ["dock", "boathouse"]}``."""
+    sweep: Dict[str, List[Any]] = {}
+    for entry in entries or []:
+        key, _, values = entry.partition("=")
+        if not values:
+            raise ValueError(f"--sweep expects key=v1,v2..., got {entry!r}")
+        parsed: List[Any] = []
+        for raw in values.split(","):
+            for cast in (int, float):
+                try:
+                    parsed.append(cast(raw))
+                    break
+                except ValueError:
+                    continue
+            else:
+                parsed.append(raw)
+        sweep[key] = parsed
+    return sweep
+
+
+def _print_registry() -> None:
+    print(f"{'name':<8} {'cost':<9} {'variants':<22} title")
+    for spec in engine.registry().values():
+        variants = ",".join(v.name for v in spec.variants)
+        print(f"{spec.name:<8} {spec.cost:<9} {variants:<22} {spec.title}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run paper experiments as a seeded, parallel campaign.",
     )
-
-    print(format_sweep("a", run_fig6a(rng, num_samples=100), PAPER_FIG6A))
-    print(format_sweep("b", run_fig6b(rng, num_samples=100), PAPER_FIG6B))
-    print(format_sweep("c", run_fig6c(rng, num_samples=100), PAPER_FIG6C))
-    print(format_sweep("d", run_fig6d(rng, num_samples=100), PAPER_FIG6D))
-
-
-def _fig11(rng):
-    from repro.experiments.fig11_ranging import (
-        format_mic_ablation,
-        format_ranging_sweep,
-        run_mic_ablation,
-        run_ranging_sweep,
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names (default: all registered)",
     )
-
-    print(format_ranging_sweep(run_ranging_sweep(rng, num_exchanges=40)))
-    print(format_mic_ablation(run_mic_ablation(rng, num_exchanges=25)))
-
-
-def _fig12(rng):
-    from repro.experiments.fig12_baselines import (
-        format_baseline_ranging,
-        format_detection,
-        run_baseline_ranging,
-        run_detection_comparison,
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (1 = serial; results are identical either way)",
     )
-
-    print(format_detection(run_detection_comparison(rng, num_trials=40)))
-    print(format_baseline_ranging(run_baseline_ranging(rng, num_exchanges=25)))
-
-
-def _fig13(rng):
-    from repro.experiments.fig13_depth import (
-        format_depth_sensors,
-        format_depth_sweep,
-        run_depth_sensor_accuracy,
-        run_depth_sweep,
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_BASE_SEED, help="campaign base seed"
     )
-
-    print(format_depth_sweep(run_depth_sweep(rng, num_exchanges=30)))
-    print(format_depth_sensors(run_depth_sensor_accuracy(rng)))
-
-
-def _fig14(rng):
-    from repro.experiments.fig14_orientation import (
-        format_model_pairs,
-        format_orientation,
-        run_model_pairs,
-        run_orientation_sweep,
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trial-count multiplier (0.1 = quick smoke pass)",
     )
-
-    print(format_orientation(run_orientation_sweep(rng)))
-    print(format_model_pairs(run_model_pairs(rng)))
-
-
-def _fig15(rng):
-    from repro.experiments.fig15_motion import format_motion, run_motion_tracking
-
-    print(format_motion(run_motion_tracking(rng)))
-
-
-def _fig16(rng):
-    from repro.experiments.fig16_pointing import format_pointing, run_pointing_study
-
-    print(format_pointing(run_pointing_study(rng)))
-
-
-def _fig18(rng):
-    from repro.experiments.fig18_localization import (
-        format_localization,
-        run_localization_study,
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the structured campaign artifact here"
     )
-
-    print(format_localization(run_localization_study(rng, site="dock")))
-    print(format_localization(run_localization_study(rng, site="boathouse")))
-
-
-def _fig19(rng):
-    from repro.experiments.fig19_robustness import (
-        format_occlusion,
-        format_removal,
-        run_occlusion_study,
-        run_removal_study,
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="include wall times in the JSON artifact (breaks byte-identity)",
     )
-
-    print(format_occlusion(run_occlusion_study(rng)))
-    print(format_removal(run_removal_study(rng)))
-
-
-def _fig20(rng):
-    from repro.experiments.fig20_mobility import format_mobility, run_mobility_study
-
-    print(format_mobility(run_mobility_study(rng, moving_device=1)))
-    print(format_mobility(run_mobility_study(rng, moving_device=2)))
-
-
-def _fig22(rng):
-    from repro.experiments.fig22_snr import format_snr, run_snr_measurement
-
-    print(format_snr(run_snr_measurement(rng)))
-
-
-def _tables(rng):
-    from repro.experiments.tables import (
-        format_battery,
-        format_comm_latency,
-        format_flipping,
-        format_round_times,
-        run_battery_model,
-        run_comm_latency,
-        run_flipping_accuracy,
-        run_round_times,
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        metavar="KEY=V1,V2",
+        help="scenario sweep applied to experiments that declare KEY sweepable",
     )
-
-    print(format_round_times(run_round_times(rng)))
-    print(format_flipping(run_flipping_accuracy(rng)))
-    print(format_comm_latency(run_comm_latency()))
-    print(format_battery(run_battery_model()))
-
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig6": _fig6,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "fig13": _fig13,
-    "fig14": _fig14,
-    "fig15": _fig15,
-    "fig16": _fig16,
-    "fig18": _fig18,
-    "fig19": _fig19,
-    "fig20": _fig20,
-    "fig22": _fig22,
-    "tables": _tables,
-}
+    parser.add_argument(
+        "--list", action="store_true", help="print the experiment registry and exit"
+    )
+    return parser
 
 
 def main(argv=None) -> int:
     """Entry point: run the selected (or all) experiments."""
     argv = sys.argv[1:] if argv is None else argv
-    selected = argv or list(EXPERIMENTS)
-    unknown = [name for name in selected if name not in EXPERIMENTS]
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        _print_registry()
+        return 0
+
+    experiments = engine.registry()
+    selected = args.experiments or list(experiments)
+    unknown = [name for name in selected if name not in experiments]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
-        print(f"available: {', '.join(EXPERIMENTS)}")
+        print(f"available: {', '.join(experiments)}")
         return 2
-    rng = np.random.default_rng(2023)
-    for name in selected:
-        print(f"\n===== {name} " + "=" * max(0, 60 - len(name)))
-        start = time.time()
-        EXPERIMENTS[name](rng)
-        print(f"----- {name} done in {time.time() - start:.1f} s")
+
+    try:
+        sweep = _parse_sweep(args.sweep)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    for key in sweep:
+        if not any(key in experiments[name].sweepable for name in selected):
+            print(
+                f"note: no selected experiment declares {key!r} sweepable; "
+                f"that sweep axis is ignored"
+            )
+
+    def show(result: ExperimentResult) -> None:
+        print(f"\n===== {result.label} " + "=" * max(0, 60 - len(result.label)))
+        if result.status == "ok":
+            print(result.report)
+            print(f"----- {result.label} done in {result.wall_time_s:.1f} s")
+        else:
+            print(result.error)
+            print(f"----- {result.label} FAILED after {result.wall_time_s:.1f} s")
+
+    results = run_campaign(
+        selected,
+        base_seed=args.seed,
+        workers=args.workers,
+        scale=args.scale,
+        sweep=sweep,
+        progress=show,
+    )
+
+    if args.json:
+        write_campaign_json(
+            args.json, results, base_seed=args.seed, include_timing=args.timing
+        )
+        print(f"\nwrote {len(results)} experiment result(s) to {args.json}")
+
+    failed = [r.label for r in results if r.status != "ok"]
+    if failed:
+        print(f"\nFAILED: {', '.join(failed)}")
+        return 1
     return 0
 
 

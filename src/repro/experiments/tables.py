@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.constants import DELTA0_S, DELTA1_S
 from repro.devices.models import APPLE_WATCH_ULTRA, SAMSUNG_S9, DeviceModel
+from repro.experiments import engine
 from repro.protocol.slots import round_duration
 from repro.protocol.uplink import communication_latency_s
 from repro.simulate.network_sim import NetworkSimulator
@@ -201,3 +202,55 @@ def format_battery(results: List[BatteryResult]) -> str:
         ref_str = f"{ref:.0%}" if ref else "-"
         lines.append(f"  {r.model:>18s} -> {r.battery_drop_fraction:.0%}  [{ref_str}]")
     return "\n".join(lines)
+
+
+@engine.register(
+    name="tables",
+    title="Protocol latency, flipping, uplink, battery tables",
+    paper_ref="Tables (sections 2.4, 3.1, 3.2)",
+    paper={
+        "round_times_s": PAPER_ROUND_TIMES_S,
+        "flipping_accuracy": PAPER_FLIPPING,
+        "comm_latency_s": PAPER_COMM_LATENCY_S,
+        "battery_drop": PAPER_BATTERY_DROP,
+    },
+    cost="moderate",
+    sweepable=("flipping_rounds",),
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    rounds_per_count: int = 10,
+    flipping_rounds: int = 50,
+):
+    """All four in-text tables in one job."""
+    round_times = run_round_times(
+        rng, rounds_per_count=engine.scaled(rounds_per_count, scale)
+    )
+    flipping = run_flipping_accuracy(
+        rng, num_rounds=engine.scaled(flipping_rounds, scale)
+    )
+    latency = run_comm_latency()
+    battery = run_battery_model()
+    measured = {
+        "round_times_s": {
+            r.num_devices: {
+                "measured_mean": r.measured_mean_s,
+                "schedule_bound": r.schedule_bound_s,
+            }
+            for r in round_times
+        },
+        "flipping_accuracy": {r.num_voters: r.accuracy for r in flipping},
+        "comm_latency_s": latency,
+        "battery_drop": {r.model: r.battery_drop_fraction for r in battery},
+    }
+    report = "\n".join(
+        [
+            format_round_times(round_times),
+            format_flipping(flipping),
+            format_comm_latency(latency),
+            format_battery(battery),
+        ]
+    )
+    return engine.ExperimentOutput(measured=measured, report=report)

@@ -128,7 +128,10 @@ def testbed_scenario(
     leader's links. Positions are rejection-sampled until all pairwise
     distances fall inside ``[min_link_m / 2, max_link_m]``; user 1 is
     placed close to the leader (it must be visible). Depths are drawn
-    within the water column.
+    within the water column. If a partial layout leaves no valid spot
+    for the next device, the whole layout is redrawn; a scenario whose
+    constraints cannot be met raises :class:`ConfigurationError`
+    instead of returning an invalid topology.
     """
     env = ENVIRONMENTS[environment] if isinstance(environment, str) else environment
     rng = rng or np.random.default_rng(0)
@@ -136,32 +139,43 @@ def testbed_scenario(
         raise ConfigurationError("testbed needs at least 3 devices")
 
     depth_hi = min(env.water_depth_m, 3.0)
-    devices: List[Device] = []
     leader_pos = np.array([0.0, 0.0, rng.uniform(0.5, depth_hi)])
-    devices.append(make_device(0, leader_pos, rng, model=model))
 
     # User 1 close to the leader (4-9 m), remaining users spread out to
     # max_link_m, all inside the site's horizontal extent, with every
     # pairwise distance inside the acoustic range.
     horizontal_cap = min(max_link_m, env.length_m / 2.0)
     min_separation = max(min_link_m / 2.0, 1.5)
-    placed = [leader_pos]
-    for i in range(1, num_devices):
-        for _attempt in range(200):
-            if i == 1:
-                radius = rng.uniform(4.0, min(9.0, horizontal_cap))
+    for _restart in range(8):
+        devices: List[Device] = [make_device(0, leader_pos, rng, model=model)]
+        placed = [leader_pos]
+        wedged = False
+        for i in range(1, num_devices):
+            for _attempt in range(200):
+                if i == 1:
+                    radius = rng.uniform(4.0, min(9.0, horizontal_cap))
+                else:
+                    radius = rng.uniform(min_link_m, horizontal_cap)
+                azimuth = rng.uniform(0, 2 * np.pi)
+                pos = leader_pos + np.array(
+                    [radius * np.cos(azimuth), radius * np.sin(azimuth), 0.0]
+                )
+                pos[2] = rng.uniform(0.5, depth_hi)
+                gaps = [float(np.linalg.norm(pos[:2] - p[:2])) for p in placed]
+                if min(gaps) >= min_separation and max(gaps) <= max_link_m:
+                    break
             else:
-                radius = rng.uniform(min_link_m, horizontal_cap)
-            azimuth = rng.uniform(0, 2 * np.pi)
-            pos = leader_pos + np.array(
-                [radius * np.cos(azimuth), radius * np.sin(azimuth), 0.0]
-            )
-            pos[2] = rng.uniform(0.5, depth_hi)
-            gaps = [float(np.linalg.norm(pos[:2] - p[:2])) for p in placed]
-            if min(gaps) >= min_separation and max(gaps) <= max_link_m:
+                wedged = True  # no valid spot left; redraw the layout
                 break
-        placed.append(pos)
-        devices.append(make_device(i, pos, rng, model=model))
+            placed.append(pos)
+            devices.append(make_device(i, pos, rng, model=model))
+        if not wedged:
+            break
+    else:
+        raise ConfigurationError(
+            f"could not place {num_devices} devices with pairwise distances "
+            f"in [{min_separation:.1f}, {max_link_m:.1f}] m"
+        )
 
     return Scenario(
         environment=env,

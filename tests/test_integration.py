@@ -13,7 +13,7 @@ from repro.simulate import (
     NetworkSimulator,
     RangingErrorModel,
     one_way_range,
-    testbed_scenario,
+    testbed_scenario as make_testbed_scenario,
 )
 from repro.channel.environment import DOCK
 from repro.signals.preamble import make_preamble
@@ -53,7 +53,7 @@ class TestFidelityCalibration:
 class TestFailureInjection:
     def test_heavy_packet_loss_degrades_gracefully(self):
         rng = np.random.default_rng(1)
-        scenario = testbed_scenario("dock", num_devices=5, rng=rng, max_link_m=15.0)
+        scenario = make_testbed_scenario("dock", num_devices=5, rng=rng, max_link_m=15.0)
         lossy = RangingErrorModel(loss_prob=0.25)
         sim = NetworkSimulator(scenario, error_model=lossy, rng=rng)
         results = sim.run_many(10)
@@ -66,7 +66,7 @@ class TestFailureInjection:
     def test_all_links_occluded_does_not_crash(self):
         rng = np.random.default_rng(2)
         occluded = [(i, j) for i in range(5) for j in range(i + 1, 5)]
-        scenario = testbed_scenario(
+        scenario = make_testbed_scenario(
             "dock", num_devices=5, rng=rng, occluded_links=occluded
         )
         sim = NetworkSimulator(scenario, rng=rng)
@@ -79,7 +79,7 @@ class TestFailureInjection:
     def test_minimum_group_size(self):
         # Three devices: localizable (a triangle), as the paper states.
         rng = np.random.default_rng(3)
-        scenario = testbed_scenario("dock", num_devices=3, rng=rng, max_link_m=12.0)
+        scenario = make_testbed_scenario("dock", num_devices=3, rng=rng, max_link_m=12.0)
         sim = NetworkSimulator(
             scenario, error_model=RangingErrorModel(loss_prob=0.0), rng=rng
         )
@@ -113,7 +113,7 @@ class TestEndToEndDeterminism:
     def test_same_seed_same_result(self):
         def run(seed):
             rng = np.random.default_rng(seed)
-            scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+            scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
             sim = NetworkSimulator(scenario, rng=rng)
             return sim.run_round()
 
@@ -124,7 +124,7 @@ class TestEndToEndDeterminism:
     def test_different_seeds_differ(self):
         def run(seed):
             rng = np.random.default_rng(seed)
-            scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+            scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
             sim = NetworkSimulator(scenario, rng=rng)
             return sim.run_round()
 

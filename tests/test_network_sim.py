@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.simulate.network_sim import NetworkSimulator, RangingErrorModel
-from repro.simulate.scenario import testbed_scenario
+from repro.simulate.scenario import testbed_scenario as make_testbed_scenario
 
 
 @pytest.fixture()
@@ -14,7 +14,7 @@ def rng():
 
 @pytest.fixture()
 def scenario(rng):
-    return testbed_scenario("dock", num_devices=5, rng=rng)
+    return make_testbed_scenario("dock", num_devices=5, rng=rng)
 
 
 class TestRangingErrorModel:
@@ -55,7 +55,7 @@ class TestNetworkSimulator:
         assert np.median(errors) < 2.0
 
     def test_quantized_vs_unquantized_close(self, rng):
-        scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+        scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
         base_seed = 7
         sim_q = NetworkSimulator(
             scenario, rng=np.random.default_rng(base_seed), quantize_uplink=True
@@ -74,7 +74,7 @@ class TestNetworkSimulator:
         assert diff.max() < 1.5
 
     def test_occluded_scenario_produces_outlier_links(self, rng):
-        scenario = testbed_scenario(
+        scenario = make_testbed_scenario(
             "dock", num_devices=5, rng=rng, occluded_links=[(0, 1)]
         )
         sim = NetworkSimulator(scenario, rng=rng)
@@ -84,7 +84,7 @@ class TestNetworkSimulator:
             assert result.distances[0, 1] - true_d[0, 1] > 1.0
 
     def test_outlier_detection_toggle(self, rng):
-        scenario = testbed_scenario(
+        scenario = make_testbed_scenario(
             "dock", num_devices=5, rng=rng, occluded_links=[(0, 2)]
         )
         sim_off = NetworkSimulator(scenario, rng=rng, stress_threshold=np.inf)
@@ -94,7 +94,7 @@ class TestNetworkSimulator:
     def test_drop_links_removes_measurement(self, rng):
         # Compact layout: every pair inside acoustic range, so only the
         # forced drop can remove a link.
-        scenario = testbed_scenario("dock", num_devices=5, rng=rng, max_link_m=12.0)
+        scenario = make_testbed_scenario("dock", num_devices=5, rng=rng, max_link_m=12.0)
         sim = NetworkSimulator(
             scenario,
             rng=rng,
@@ -125,7 +125,7 @@ class TestNetworkSimulator:
         correct = 0
         for seed in range(12):
             local_rng = np.random.default_rng(seed)
-            scenario = testbed_scenario("dock", num_devices=5, rng=local_rng)
+            scenario = make_testbed_scenario("dock", num_devices=5, rng=local_rng)
             sim = NetworkSimulator(scenario, rng=local_rng)
             correct += int(sim.run_round().flip_correct)
         assert correct >= 10
@@ -146,7 +146,7 @@ class TestNetworkSimulator:
             site_errors = []
             for seed in range(6):
                 local_rng = np.random.default_rng(seed)
-                scenario = testbed_scenario(site, num_devices=5, rng=local_rng)
+                scenario = make_testbed_scenario(site, num_devices=5, rng=local_rng)
                 sim = NetworkSimulator(scenario, error_model=model, rng=local_rng)
                 true_d = scenario.true_distances()
                 for r in sim.run_many(3):

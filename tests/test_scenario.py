@@ -11,7 +11,7 @@ from repro.simulate.scenario import (
     PointingModel,
     Scenario,
     analytical_scenario,
-    testbed_scenario,
+    testbed_scenario as make_testbed_scenario,
 )
 
 
@@ -31,7 +31,7 @@ class TestPointingModel:
 class TestScenario:
     def test_testbed_layout(self):
         rng = np.random.default_rng(2)
-        scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+        scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
         assert scenario.num_devices == 5
         d = scenario.true_distances()
         # User 1 close to the leader (visible range).
@@ -41,7 +41,7 @@ class TestScenario:
 
     def test_connectivity_respects_range(self):
         rng = np.random.default_rng(3)
-        scenario = testbed_scenario("dock", num_devices=5, rng=rng)
+        scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
         conn = scenario.connectivity()
         assert conn.shape == (5, 5)
         assert not conn.diagonal().any()
@@ -50,7 +50,7 @@ class TestScenario:
 
     def test_occlusion_lookup(self):
         rng = np.random.default_rng(4)
-        scenario = testbed_scenario(
+        scenario = make_testbed_scenario(
             "dock", num_devices=4, rng=rng, occluded_links=[(0, 1)]
         )
         assert scenario.is_occluded(0, 1)
@@ -59,7 +59,7 @@ class TestScenario:
 
     def test_pointing_azimuth_towards_user1(self):
         rng = np.random.default_rng(5)
-        scenario = testbed_scenario("dock", num_devices=4, rng=rng)
+        scenario = make_testbed_scenario("dock", num_devices=4, rng=rng)
         az = scenario.true_pointing_azimuth()
         rel = scenario.devices[1].position[:2] - scenario.devices[0].position[:2]
         assert az == pytest.approx(np.arctan2(rel[1], rel[0]))
@@ -81,8 +81,8 @@ class TestScenario:
 
     def test_environment_by_name_and_object(self):
         rng = np.random.default_rng(8)
-        by_name = testbed_scenario("boathouse", num_devices=3, rng=rng)
-        by_obj = testbed_scenario(DOCK, num_devices=3, rng=rng)
+        by_name = make_testbed_scenario("boathouse", num_devices=3, rng=rng)
+        by_obj = make_testbed_scenario(DOCK, num_devices=3, rng=rng)
         assert by_name.environment.name == "boathouse"
         assert by_obj.environment.name == "dock"
 
@@ -97,7 +97,7 @@ class TestScenario:
 
     def test_sound_speed_plausible(self):
         rng = np.random.default_rng(10)
-        scenario = testbed_scenario("dock", num_devices=3, rng=rng)
+        scenario = make_testbed_scenario("dock", num_devices=3, rng=rng)
         assert 1_400 < scenario.sound_speed() < 1_600
 
 
@@ -164,3 +164,58 @@ class TestTrajectories:
         )
         assert path.shape == (3, 3)
         assert np.allclose(path[2], [1.0, 0.0, 1.0])
+
+
+class TestTestbedInvariants:
+    """Rejection-sampling guarantees of ``testbed_scenario``."""
+
+    @pytest.mark.parametrize("site", ["dock", "boathouse"])
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pairwise_distances_within_bounds(self, site, seed):
+        min_link, max_link = 3.0, 25.0
+        rng = np.random.default_rng(seed)
+        scenario = make_testbed_scenario(
+            site, num_devices=5, rng=rng, min_link_m=min_link, max_link_m=max_link
+        )
+        xy = scenario.positions[:, :2]
+        gaps = np.linalg.norm(xy[:, None, :] - xy[None, :, :], axis=-1)
+        off_diag = gaps[~np.eye(len(xy), dtype=bool)]
+        assert off_diag.min() >= min_link / 2.0
+        assert off_diag.max() <= max_link + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_depths_within_water_column(self, seed):
+        rng = np.random.default_rng(seed)
+        scenario = make_testbed_scenario("dock", num_devices=6, rng=rng)
+        depth_cap = min(scenario.environment.water_depth_m, 3.0)
+        assert np.all(scenario.depths >= 0.5 - 1e-9)
+        assert np.all(scenario.depths <= depth_cap + 1e-9)
+
+    def test_user1_visible_from_leader(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            scenario = make_testbed_scenario("dock", num_devices=5, rng=rng)
+            d01 = float(
+                np.linalg.norm(scenario.positions[1, :2] - scenario.positions[0, :2])
+            )
+            assert 4.0 - 1e-9 <= d01 <= 9.0 + 1e-9
+
+    def test_impossible_constraints_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            # 12 devices whose pairwise gaps must stay in [4.5, 10] m
+            # within a 10 m radius cannot satisfy the separation.
+            make_testbed_scenario(
+                "dock", num_devices=12, rng=rng, min_link_m=9.0, max_link_m=10.0
+            )
+
+    def test_is_occluded_symmetric(self):
+        rng = np.random.default_rng(3)
+        scenario = make_testbed_scenario(
+            "dock", num_devices=5, rng=rng, occluded_links=[(0, 1), (3, 2)]
+        )
+        for i in range(scenario.num_devices):
+            for j in range(scenario.num_devices):
+                assert scenario.is_occluded(i, j) == scenario.is_occluded(j, i)
+        assert scenario.is_occluded(2, 3) and scenario.is_occluded(3, 2)
+        assert not scenario.is_occluded(0, 2)
