@@ -124,7 +124,7 @@ UPLINK_CODE_RATE = 2.0 / 3.0
 #: the RMS per-link residual ``sqrt(S / n_links)``, for which 0.5 m separates
 #: clean networks (<= ~0.35 m under deployment noise) from networks with an
 #: occlusion-grade outlier (>= ~0.6 m) in the calibrated simulator. See
-#: EXPERIMENTS.md ("Algorithm 1 calibration").
+#: DESIGN.md section 2 ("Algorithm 1 calibration").
 OUTLIER_STRESS_THRESHOLD_M = 0.5
 
 #: Required relative stress reduction for a dropped subset to be accepted.

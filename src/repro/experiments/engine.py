@@ -54,6 +54,7 @@ CANONICAL_ORDER: Tuple[str, ...] = (
     "fig20",
     "fig22",
     "tables",
+    "fleet",
 )
 
 #: Modules whose import registers the canonical experiments.
@@ -70,6 +71,7 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.experiments.fig20_mobility",
     "repro.experiments.fig22_snr",
     "repro.experiments.tables",
+    "repro.experiments.ext_fleet",
 )
 
 

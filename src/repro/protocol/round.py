@@ -11,6 +11,14 @@ what the leader's ranging-matrix computation consumes.
 This is the timestamp-fidelity twin of the waveform simulator: the
 detection-error callable is calibrated from waveform-level runs (see
 DESIGN.md section 2).
+
+Since the discrete-event engine landed, :func:`run_protocol_round` is a
+thin adapter: it validates inputs, pre-draws the per-link detection
+errors (in a fixed order, so the random stream is identical for every
+backend), and hands execution to the event-driven round in
+:mod:`repro.simulate.des.round_adapter`. The original straight-line
+fixed-point loop is kept as the ``"legacy"`` backend; the parity tests
+pin the two to identical reports on fixed seeds (DESIGN.md section 4).
 """
 
 from __future__ import annotations
@@ -74,6 +82,7 @@ def run_protocol_round(
     rng: Optional[np.random.Generator] = None,
     delta0_s: float = DELTA0_S,
     delta1_s: float = DELTA1_S,
+    backend: str = "des",
 ) -> RoundOutcome:
     """Execute one distributed timestamp round.
 
@@ -97,11 +106,17 @@ def run_protocol_round(
         Randomness for the noise model.
     delta0_s / delta1_s:
         Protocol timing parameters.
+    backend:
+        ``"des"`` runs the round on the discrete-event engine (the
+        default); ``"legacy"`` uses the original fixed-point loop.
+        Detection errors are pre-drawn identically for both, and the
+        parity tests pin their reports to match on fixed seeds.
 
     Raises
     ------
     ProtocolError
-        On malformed inputs (non-square matrices, too few devices).
+        On malformed inputs (non-square matrices, too few devices, an
+        unknown backend).
     """
     d = np.asarray(distances, dtype=float)
     conn = np.asarray(connectivity, dtype=bool)
@@ -113,17 +128,48 @@ def run_protocol_round(
     clocks = clocks or [DeviceClock() for _ in range(n)]
     if len(clocks) != n:
         raise ProtocolError("need one clock per device")
+    if backend not in ("des", "legacy"):
+        raise ProtocolError(f"unknown round backend {backend!r}")
     rng = rng or np.random.default_rng(0)
     depths = np.zeros(n) if depths is None else np.asarray(depths, dtype=float)
 
     # Pre-draw the per-link detection errors (one per directed link; the
     # same physical arrival is used for sync decisions and timestamps).
+    # The draw order is fixed so both backends consume the random stream
+    # identically.
     noise: Dict[Tuple[int, int], float] = {}
     for i in range(n):
         for j in range(n):
             if i != j and conn[i, j]:
                 noise[(i, j)] = arrival_noise(i, j, float(d[i, j]), rng)
 
+    if backend == "des":
+        from repro.simulate.des.round_adapter import des_protocol_round
+
+        return des_protocol_round(
+            d, conn, sound_speed, clocks, depths, noise, delta0_s, delta1_s
+        )
+    return _legacy_protocol_round(
+        d, conn, sound_speed, clocks, depths, noise, delta0_s, delta1_s
+    )
+
+
+def _legacy_protocol_round(
+    d: np.ndarray,
+    conn: np.ndarray,
+    sound_speed: float,
+    clocks: List[DeviceClock],
+    depths: np.ndarray,
+    noise: Dict[Tuple[int, int], float],
+    delta0_s: float,
+    delta1_s: float,
+) -> RoundOutcome:
+    """The original straight-line round: fixed-point slot assignment.
+
+    Kept as the reference implementation the DES backend is verified
+    against (tests/test_des_parity.py).
+    """
+    n = d.shape[0]
     global_tx: Dict[int, float] = {0: 0.0}
     sync_ref: Dict[int, int] = {0: 0}
     missed: List[int] = []
@@ -165,6 +211,9 @@ def run_protocol_round(
             break
 
     silent = [i for i in range(1, n) if i not in global_tx]
+    # Ascending ids, matching the DES backend (the fixed point may
+    # discover deferrals in any order across passes).
+    missed.sort()
 
     # Build the reports: every device timestamps every beacon it hears.
     reports: Dict[int, TimestampReport] = {}

@@ -1,6 +1,6 @@
 """Simulators tying devices, channel, protocol and localization together.
 
-Two fidelities (see DESIGN.md):
+Two fidelities on one substrate (see DESIGN.md):
 
 * :mod:`repro.simulate.waveform_sim` — renders real 44.1 kHz audio
   through the image-method channel and runs the full receiver pipeline;
@@ -8,13 +8,30 @@ Two fidelities (see DESIGN.md):
 * :mod:`repro.simulate.network_sim` — timestamp-level N-device rounds
   with a waveform-calibrated ranging-error model; used by the network
   localization experiments.
+
+The timestamp-level rounds execute on :mod:`repro.simulate.des`, the
+deterministic discrete-event engine, which also powers the large-fleet
+/ churn / multi-hop campaigns beyond the paper's 5-device testbeds.
 """
 
 from repro.simulate.scenario import (
     Scenario,
     testbed_scenario,
     analytical_scenario,
+    fleet_scenario,
     PointingModel,
+)
+from repro.simulate.des import (
+    Simulator,
+    AcousticMedium,
+    DesNode,
+    TdmaMac,
+    ContentionMac,
+    EnergyAccount,
+    EnergyModel,
+    FleetConfig,
+    FleetResult,
+    run_fleet_campaign,
 )
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
@@ -34,7 +51,18 @@ __all__ = [
     "Scenario",
     "testbed_scenario",
     "analytical_scenario",
+    "fleet_scenario",
     "PointingModel",
+    "Simulator",
+    "AcousticMedium",
+    "DesNode",
+    "TdmaMac",
+    "ContentionMac",
+    "EnergyAccount",
+    "EnergyModel",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet_campaign",
     "ExchangeConfig",
     "RangingMeasurement",
     "simulate_reception",

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event network simulation (DESIGN.md §3-5).
+
+The DES is the scaling substrate under the protocol simulators: a
+heapq event loop with stable ``(time, seq)`` tie-breaking, per-node
+processes driven by each device's local clock, propagation-delay-aware
+acoustic delivery with directional loss and collision modelling,
+per-node energy accounting, and pluggable MAC policies (the paper's
+TDMA slots, plus contention/backoff for beyond-paper fleets).
+
+``repro.protocol.round.run_protocol_round`` runs on top of this engine
+by default (bit-compatible with the legacy loop for fixed seeds), and
+:mod:`repro.simulate.des.fleet` uses the extra headroom for 50-200
+node campaigns with churn, two-hop relay, and mobility-during-round.
+"""
+
+from repro.simulate.des.core import Event, Simulator
+from repro.simulate.des.energy import EnergyAccount, EnergyModel
+from repro.simulate.des.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetRoundStats,
+    run_fleet_campaign,
+)
+from repro.simulate.des.mac import ContentionMac, MacPolicy, TdmaMac
+from repro.simulate.des.medium import AcousticMedium, Arrival
+from repro.simulate.des.node import DesNode
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "EnergyAccount",
+    "EnergyModel",
+    "AcousticMedium",
+    "Arrival",
+    "DesNode",
+    "MacPolicy",
+    "TdmaMac",
+    "ContentionMac",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRoundStats",
+    "run_fleet_campaign",
+]

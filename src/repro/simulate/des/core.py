@@ -1,0 +1,161 @@
+"""Deterministic discrete-event engine (see DESIGN.md section 3).
+
+A single ``heapq`` event loop orders events by ``(time, seq)``: ``seq``
+is a monotonically increasing schedule counter, so two events with the
+same timestamp always fire in the order they were scheduled. Together
+with the rule that all randomness is drawn *inside* event callbacks (in
+event order, from generators owned by the caller), this makes every
+simulation a pure function of its inputs — identical seeds give
+identical event traces, which the campaign engine relies on for its
+byte-identical serial-vs-parallel artifacts.
+
+Cancellation is lazy: :meth:`Simulator.cancel` marks the event and the
+loop discards it when popped, so cancelling never perturbs the heap
+order of the remaining events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Event:
+    """One scheduled callback.
+
+    Attributes
+    ----------
+    time_s:
+        Global (true) simulation time at which the callback fires.
+    seq:
+        Schedule order; the tie-breaker for simultaneous events.
+    label:
+        Optional tag recorded in the trace (for tests and debugging).
+    cancelled:
+        Lazily-cancelled events are skipped by the loop.
+    """
+
+    __slots__ = ("time_s", "seq", "callback", "args", "label", "cancelled")
+
+    def __init__(
+        self,
+        time_s: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        label: str,
+    ):
+        self.time_s = time_s
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_s, self.seq) < (other.time_s, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time_s:.6f}, seq={self.seq}, {self.label!r}{state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        When True, every fired event appends ``(time, seq, label)`` to
+        :attr:`trace` — the determinism tests compare these traces
+        across runs.
+    """
+
+    def __init__(self, trace: bool = False):
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._fired: int = 0
+        self.trace: Optional[List[Tuple[float, int, str]]] = [] if trace else None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def at(
+        self, time_s: float, callback: Callable[..., None], *args: Any, label: str = ""
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_s``.
+
+        Times in the past are clamped to ``now`` (the event fires
+        immediately, after already-scheduled events at ``now``): the
+        error models may legitimately produce arrival offsets slightly
+        before the transmission they decorate, and clamping keeps the
+        loop monotone without changing any recorded timestamp.
+        """
+        event = Event(max(float(time_s), self.now), self._seq, callback, args, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self, delay_s: float, callback: Callable[..., None], *args: Any, label: str = ""
+    ) -> Event:
+        """Schedule ``callback(*args)`` ``delay_s`` from now."""
+        if delay_s < 0:
+            raise ConfigurationError("cannot schedule a negative delay")
+        return self.at(self.now + delay_s, callback, *args, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (safe on fired/already-cancelled ones)."""
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._fired
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, until_s: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the event queue (optionally stopping after ``until_s``).
+
+        Returns the final simulation time: the time of the last fired
+        event, or ``until_s`` when a horizon was given.
+
+        Raises
+        ------
+        ConfigurationError
+            When ``max_events`` fires without draining the queue — the
+            runaway-loop guard for self-rescheduling processes.
+        """
+        fired_this_run = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_s is not None and event.time_s > until_s:
+                break
+            if fired_this_run >= max_events:
+                raise ConfigurationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+            heapq.heappop(self._heap)
+            self.now = event.time_s
+            self._fired += 1
+            fired_this_run += 1
+            if self.trace is not None:
+                self.trace.append((event.time_s, event.seq, event.label))
+            event.callback(*event.args)
+        if until_s is not None:
+            self.now = max(self.now, until_s)
+        return self.now

@@ -1,0 +1,361 @@
+"""Large-fleet DES campaigns: churn, multi-hop relay, mobility, contention.
+
+This is the beyond-paper workload the DES exists for (DESIGN.md §5):
+fleets of 50-200 devices spanning several acoustic ranges, nodes
+joining and leaving between rounds, a two-hop uplink relay for devices
+the leader cannot hear (:mod:`repro.protocol.relay`), devices moving
+*during* a round (propagation delays are evaluated at transmit time
+against the trajectory), per-node energy accounting, and a choice of
+MAC policy (the paper's TDMA or random-access contention).
+
+Determinism contract: every random draw — link loss, detection noise,
+churn, backoff — comes from the single generator passed to
+:func:`run_fleet_campaign`, in event order, so a fixed seed fixes every
+metric. The campaign engine relies on this for byte-identical
+serial-vs-parallel ``--json`` artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import MAX_RANGE_M, T_PACKET_S
+from repro.errors import ConfigurationError
+from repro.protocol.messages import TimestampReport
+from repro.protocol.relay import plan_relays, relay_uplink_latency_s
+from repro.protocol.slots import round_duration
+from repro.simulate.des.core import Simulator
+from repro.simulate.des.energy import EnergyAccount, EnergyModel
+from repro.simulate.des.mac import ContentionMac, TdmaMac
+from repro.simulate.des.medium import AcousticMedium
+from repro.simulate.des.node import DesNode
+from repro.simulate.mobility import LinearBackForthTrajectory
+from repro.simulate.network_sim import RangingErrorModel
+from repro.simulate.scenario import Scenario, fleet_scenario
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet campaign setup.
+
+    Attributes
+    ----------
+    num_devices / num_rounds:
+        Fleet size (IDs 0..N-1, 0 is the leader) and rounds to run.
+    area_xy_m:
+        Horizontal extent; ``None`` scales with fleet size so density
+        stays roughly constant (several hops across the fleet).
+    max_range_m:
+        Acoustic range limit (links beyond it do not exist).
+    mac:
+        ``"tdma"`` (the paper's slots) or ``"contention"``
+        (random-access with exponential backoff).
+    contention_window_s:
+        Initial backoff window of the contention MAC.
+    packet_duration_s:
+        Beacon airtime (drives both collisions and TX energy).
+    error_model:
+        The calibrated detection-error / packet-loss model shared with
+        :class:`~repro.simulate.network_sim.NetworkSimulator`
+        (DESIGN.md §2) — the single source of the noise constants.
+    leave_prob / join_prob:
+        Per-round churn: chance an active non-leader leaves, and a
+        departed device rejoins, between rounds.
+    relay:
+        Plan two-hop relays for reports the leader cannot hear.
+    mobility_fraction / speed_range_mps / amplitude_range_m:
+        Fraction of non-leader devices swimming back and forth during
+        rounds, and their kinematics.
+    """
+
+    num_devices: int = 100
+    num_rounds: int = 4
+    area_xy_m: Optional[float] = None
+    max_range_m: float = MAX_RANGE_M
+    mac: str = "tdma"
+    contention_window_s: float = 4.0
+    packet_duration_s: float = T_PACKET_S
+    error_model: RangingErrorModel = field(default_factory=RangingErrorModel)
+    leave_prob: float = 0.0
+    join_prob: float = 0.5
+    relay: bool = True
+    mobility_fraction: float = 0.0
+    speed_range_mps: Tuple[float, float] = (0.15, 0.5)
+    amplitude_range_m: Tuple[float, float] = (2.0, 6.0)
+
+    def __post_init__(self):
+        if self.num_devices < 2:
+            raise ConfigurationError("fleet needs at least 2 devices")
+        if self.num_rounds < 1:
+            raise ConfigurationError("fleet campaign needs at least 1 round")
+        if self.mac not in ("tdma", "contention"):
+            raise ConfigurationError(f"unknown MAC policy {self.mac!r}")
+        if not 0.0 <= self.mobility_fraction <= 1.0:
+            raise ConfigurationError("mobility_fraction must be in [0, 1]")
+        for name in ("leave_prob", "join_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+    @property
+    def area(self) -> float:
+        """The resolved horizontal extent."""
+        if self.area_xy_m is not None:
+            return self.area_xy_m
+        return max(60.0, 12.0 * float(np.sqrt(self.num_devices)))
+
+
+@dataclass
+class FleetRoundStats:
+    """Protocol-level outcome of one fleet round."""
+
+    round_index: int
+    active: int
+    transmitted: int
+    silent: int
+    missed_slots: int
+    collisions: int
+    tx_attempts: int
+    gave_up: int
+    direct_reports: int
+    relayed_reports: int
+    unreachable: int
+    relay_waves: int
+    round_duration_s: float
+    uplink_latency_s: float
+    mean_energy_j: float
+    max_energy_j: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of active devices whose report reached the leader."""
+        return (1 + self.direct_reports + self.relayed_reports) / self.active
+
+
+@dataclass
+class FleetResult:
+    """A completed fleet campaign."""
+
+    config: FleetConfig
+    rounds: List[FleetRoundStats] = field(default_factory=list)
+    leaves: int = 0
+    joins: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate, JSON-friendly campaign metrics."""
+        if not self.rounds:
+            return {"rounds": 0}
+        mean = lambda xs: float(np.mean(xs))  # noqa: E731
+        return {
+            "num_devices": self.config.num_devices,
+            "mac": self.config.mac,
+            "rounds": len(self.rounds),
+            "mean_active": mean([r.active for r in self.rounds]),
+            "mean_transmit_ratio": mean(
+                [r.transmitted / r.active for r in self.rounds]
+            ),
+            "mean_coverage": mean([r.coverage for r in self.rounds]),
+            "mean_direct_reports": mean([r.direct_reports for r in self.rounds]),
+            "mean_relayed_reports": mean([r.relayed_reports for r in self.rounds]),
+            "mean_unreachable": mean([r.unreachable for r in self.rounds]),
+            "mean_relay_waves": mean([r.relay_waves for r in self.rounds]),
+            "mean_round_duration_s": mean(
+                [r.round_duration_s for r in self.rounds]
+            ),
+            "tdma_model_round_s": round_duration(self.config.num_devices),
+            "mean_uplink_latency_s": mean(
+                [r.uplink_latency_s for r in self.rounds]
+            ),
+            "total_collisions": int(sum(r.collisions for r in self.rounds)),
+            "total_tx_attempts": int(sum(r.tx_attempts for r in self.rounds)),
+            "total_missed_slots": int(sum(r.missed_slots for r in self.rounds)),
+            "total_gave_up": int(sum(r.gave_up for r in self.rounds)),
+            "mean_energy_j_per_round": mean(
+                [r.mean_energy_j for r in self.rounds]
+            ),
+            "max_energy_j_per_round": max(r.max_energy_j for r in self.rounds),
+            "churn_leaves": self.leaves,
+            "churn_joins": self.joins,
+        }
+
+
+def _build_trajectories(
+    scenario: Scenario, config: FleetConfig, rng: np.random.Generator
+) -> Dict[int, LinearBackForthTrajectory]:
+    """Assign back-and-forth trajectories to a deterministic subset."""
+    num_movers = int(round(config.mobility_fraction * (scenario.num_devices - 1)))
+    if num_movers == 0:
+        return {}
+    movers = sorted(
+        rng.choice(np.arange(1, scenario.num_devices), size=num_movers, replace=False)
+    )
+    trajectories: Dict[int, LinearBackForthTrajectory] = {}
+    for mover in movers:
+        azimuth = rng.uniform(0.0, 2.0 * np.pi)
+        trajectories[int(mover)] = LinearBackForthTrajectory(
+            center=scenario.devices[int(mover)].position,
+            direction=np.array([np.cos(azimuth), np.sin(azimuth), 0.0]),
+            amplitude_m=float(rng.uniform(*config.amplitude_range_m)),
+            speed_mps=float(rng.uniform(*config.speed_range_mps)),
+        )
+    return trajectories
+
+
+def _run_fleet_round(
+    scenario: Scenario,
+    active: List[int],
+    trajectories: Dict[int, LinearBackForthTrajectory],
+    campaign_time_s: float,
+    config: FleetConfig,
+    rng: np.random.Generator,
+) -> Tuple[FleetRoundStats, Dict[int, TimestampReport], float]:
+    """One DES round over the currently active devices."""
+    sound_speed = scenario.sound_speed()
+    sim = Simulator()
+
+    def position_of(device_id: int, t_s: float) -> np.ndarray:
+        trajectory = trajectories.get(device_id)
+        if trajectory is None:
+            return scenario.devices[device_id].position
+        return trajectory.position(campaign_time_s + t_s)
+
+    def distance_fn(rx: int, tx: int, t_s: float) -> float:
+        return float(np.linalg.norm(position_of(rx, t_s) - position_of(tx, t_s)))
+
+    error_model = config.error_model
+    medium = AcousticMedium(
+        sim,
+        sound_speed,
+        distance_fn=distance_fn,
+        connectivity_fn=lambda rx, tx, dist: dist <= config.max_range_m,
+        loss_fn=lambda rx, tx: bool(rng.random() < error_model.loss_prob),
+        delay_noise_fn=lambda rx, tx, dist: error_model.detection_error_m(
+            dist, False, rng
+        )
+        / sound_speed,
+    )
+    if config.mac == "tdma":
+        mac = TdmaMac(
+            scenario.num_devices, packet_duration_s=config.packet_duration_s
+        )
+    else:
+        mac = ContentionMac(
+            rng,
+            window_s=config.contention_window_s,
+            packet_duration_s=config.packet_duration_s,
+        )
+    nodes: Dict[int, DesNode] = {}
+    for device_id in active:
+        device = scenario.devices[device_id]
+        nodes[device_id] = DesNode(
+            device,
+            sim,
+            medium,
+            mac,
+            energy=EnergyAccount(EnergyModel.from_device_model(device.model)),
+        )
+    duration = sim.run()
+    for node in nodes.values():
+        node.energy.settle_idle(duration)
+
+    reports = {
+        device_id: node.report(scenario.devices[device_id].depth_m)
+        for device_id, node in nodes.items()
+        if node.own_tx_local_s is not None
+    }
+    transmitted = sorted(reports)
+    silent = [i for i in active if i not in reports]
+
+    # Uplink: devices whose beacon the leader heard can reach it with
+    # their FSK report; the rest need the two-hop relay.
+    leader = nodes[0]
+    direct = {0} | {i for i in transmitted if i in leader.received}
+    relayed_count = 0
+    unreachable_count = 0
+    waves = 0
+    if config.relay:
+        # Inactive and silent devices have no report to carry, so they
+        # are marked "direct" to keep the planner focused on genuinely
+        # active-but-unheard reporters; having no reports of their own,
+        # they can never be chosen as relays either.
+        no_report = (set(range(scenario.num_devices)) - set(active)) | set(silent)
+        plan = plan_relays(
+            scenario.num_devices,
+            sorted(direct | no_report),
+            reports,
+            distances=scenario.true_distances(),
+        )
+        relayed_count = len(plan.assignments)
+        unreachable_count = len(plan.unreachable)
+        waves = plan.num_waves
+        uplink_latency = relay_uplink_latency_s(scenario.num_devices, plan)
+    else:
+        from repro.protocol.uplink import communication_latency_s
+
+        unreachable_count = len([i for i in transmitted if i not in direct])
+        uplink_latency = communication_latency_s(scenario.num_devices)
+
+    energies = [node.energy.total_joules for _, node in sorted(nodes.items())]
+    stats = FleetRoundStats(
+        round_index=0,  # filled by the campaign loop
+        active=len(active),
+        transmitted=len(transmitted),
+        silent=len(silent),
+        missed_slots=sum(1 for n_ in nodes.values() if n_.missed_slot),
+        collisions=sum(n_.collisions for n_ in nodes.values()),
+        tx_attempts=sum(n_.tx_attempts for n_ in nodes.values()),
+        gave_up=getattr(mac, "gave_up", 0),
+        direct_reports=len(direct) - 1,
+        relayed_reports=relayed_count,
+        unreachable=unreachable_count,
+        relay_waves=waves,
+        round_duration_s=float(duration),
+        uplink_latency_s=float(uplink_latency),
+        mean_energy_j=float(np.mean(energies)),
+        max_energy_j=float(np.max(energies)),
+    )
+    return stats, reports, duration + uplink_latency
+
+
+def run_fleet_campaign(
+    rng: np.random.Generator, config: Optional[FleetConfig] = None
+) -> FleetResult:
+    """Run a multi-round fleet campaign and collect protocol metrics."""
+    config = config or FleetConfig()
+    scenario = fleet_scenario(
+        config.num_devices,
+        rng=rng,
+        area_xy_m=config.area,
+        max_range_m=config.max_range_m,
+    )
+    trajectories = _build_trajectories(scenario, config, rng)
+    result = FleetResult(config=config)
+
+    active = set(range(config.num_devices))
+    departed: set = set()
+    campaign_time = 0.0
+    for round_index in range(config.num_rounds):
+        # Churn between rounds (the leader never leaves). Rejoins are
+        # only offered to devices that departed in an *earlier* gap, so
+        # a leave is always absent for at least one round.
+        if round_index > 0:
+            rejoin_pool = sorted(departed)
+            for device_id in sorted(active - {0}):
+                if rng.random() < config.leave_prob:
+                    active.discard(device_id)
+                    departed.add(device_id)
+                    result.leaves += 1
+            for device_id in rejoin_pool:
+                if rng.random() < config.join_prob:
+                    departed.discard(device_id)
+                    active.add(device_id)
+                    result.joins += 1
+        stats, _reports, elapsed = _run_fleet_round(
+            scenario, sorted(active), trajectories, campaign_time, config, rng
+        )
+        stats.round_index = round_index
+        result.rounds.append(stats)
+        campaign_time += elapsed
+    return result

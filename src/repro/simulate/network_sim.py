@@ -9,8 +9,16 @@ multi-device rounds at audio rate would be needlessly slow.
 
 The error-model defaults are calibrated against
 :mod:`repro.simulate.waveform_sim` runs at the dock environment (see
-EXPERIMENTS.md: the waveform pipeline's per-detection error grows
+DESIGN.md section 2: the waveform pipeline's per-detection error grows
 roughly linearly with range).
+
+The protocol round itself executes on the discrete-event engine
+(:mod:`repro.simulate.des`) by default — this class is a thin adapter
+that draws the per-round error realisations and feeds the resulting
+reports to the localization pipeline. ``backend="legacy"`` selects the
+original straight-line round loop; the two are bit-compatible on fixed
+seeds (DESIGN.md section 4), so figure numbers do not depend on the
+choice.
 """
 
 from __future__ import annotations
@@ -132,6 +140,7 @@ class NetworkSimulator:
         quantize_uplink: bool = True,
         drop_links: Optional[List[Tuple[int, int]]] = None,
         stress_threshold: Optional[float] = None,
+        backend: str = "des",
     ):
         """Create a simulator.
 
@@ -150,6 +159,10 @@ class NetworkSimulator:
         stress_threshold:
             Override for Algorithm 1's stress threshold; ``np.inf``
             disables outlier detection entirely (the Fig. 19a ablation).
+        backend:
+            Protocol-round backend: ``"des"`` (event-driven, default)
+            or ``"legacy"`` (the original loop); bit-compatible on
+            fixed seeds.
         """
         self.scenario = scenario
         self.error_model = error_model or RangingErrorModel()
@@ -157,6 +170,7 @@ class NetworkSimulator:
         self.quantize_uplink = quantize_uplink
         self.drop_links = [tuple(sorted(l)) for l in (drop_links or [])]
         self.stress_threshold = stress_threshold
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -238,6 +252,7 @@ class NetworkSimulator:
             depths=scenario.depths,
             arrival_noise=self._arrival_noise,
             rng=self.rng,
+            backend=self.backend,
         )
 
         sensor_depths = self._sensor_depths()

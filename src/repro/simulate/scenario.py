@@ -184,6 +184,80 @@ def testbed_scenario(
     )
 
 
+def fleet_scenario(
+    num_devices: int,
+    rng: Optional[np.random.Generator] = None,
+    area_xy_m: float = 120.0,
+    max_range_m: float = 32.0,
+    min_separation_m: float = 2.0,
+    water_depth_m: float = 20.0,
+    model: DeviceModel = SAMSUNG_S9,
+) -> Scenario:
+    """A large multi-hop fleet for DES campaigns (beyond the paper).
+
+    Unlike :func:`testbed_scenario` — which keeps *every* pair inside
+    acoustic range — a fleet spans an area several times the range
+    limit. Devices are placed by cluster growth: each new device
+    anchors to a uniformly chosen placed device at a radius within
+    ~80% of ``max_range_m``, so the connectivity graph stays connected
+    while most pairs are multiple hops apart. The leader sits at the
+    centre; clocks and audio offsets are randomised per device as in
+    the testbeds.
+    """
+    rng = rng or np.random.default_rng(0)
+    if num_devices < 2:
+        raise ConfigurationError("fleet needs at least 2 devices")
+    env = Environment(
+        name="open_water",
+        water_depth_m=water_depth_m,
+        length_m=area_xy_m,
+        water=ENVIRONMENTS["dock"].water,
+        bottom_coeff=ENVIRONMENTS["dock"].bottom_coeff,
+        noise=ENVIRONMENTS["dock"].noise,
+    )
+    half = area_xy_m / 2.0
+    depth_hi = min(water_depth_m, 10.0)
+    positions = [np.array([0.0, 0.0, rng.uniform(0.5, depth_hi)])]
+    anchor_radius_hi = 0.8 * max_range_m
+    # Depth is drawn near the anchor's depth (scaled to the range
+    # limit) and the anchor link is checked in 3D, so connectedness
+    # holds for short-range fleets too, not just the 32 m default.
+    depth_jitter = 0.3 * max_range_m
+    for _ in range(1, num_devices):
+        for _attempt in range(400):
+            anchor = positions[int(rng.integers(len(positions)))]
+            radius = rng.uniform(min_separation_m, anchor_radius_hi)
+            azimuth = rng.uniform(0.0, 2.0 * np.pi)
+            pos = anchor + np.array(
+                [radius * np.cos(azimuth), radius * np.sin(azimuth), 0.0]
+            )
+            pos[:2] = np.clip(pos[:2], -half, half)
+            pos[2] = float(
+                np.clip(
+                    anchor[2] + rng.uniform(-depth_jitter, depth_jitter),
+                    0.5,
+                    depth_hi,
+                )
+            )
+            gaps = [float(np.linalg.norm(pos[:2] - p[:2])) for p in positions]
+            if (
+                min(gaps) >= min_separation_m
+                and float(np.linalg.norm(pos - anchor)) <= 0.9 * max_range_m
+            ):
+                break
+        else:
+            raise ConfigurationError(
+                f"could not place {num_devices} fleet devices with "
+                f"{min_separation_m:.1f} m separation in a "
+                f"{area_xy_m:.0f} m area"
+            )
+        positions.append(pos)
+    devices = [
+        make_device(i, positions[i], rng, model=model) for i in range(num_devices)
+    ]
+    return Scenario(environment=env, devices=devices, max_range_m=max_range_m)
+
+
 def analytical_scenario(
     num_devices: int,
     rng: np.random.Generator,

@@ -115,6 +115,8 @@ class TestRunnerRegistry:
             "fig20",
             "fig22",
             "tables",
+            # Beyond-paper extension: large-fleet DES campaigns.
+            "fleet",
         }
         assert set(EXPERIMENTS) == expected
 
