@@ -19,7 +19,7 @@ column spans ``z in [0, water_depth]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -159,6 +159,76 @@ def image_method_taps(
     if not taps:
         raise RuntimeError("image method produced no taps (thresholds too strict?)")
     return taps
+
+
+def image_method_tap_arrays(
+    tx_pos: Sequence[float],
+    rx_pos: Sequence[float],
+    water_depth: float,
+    sound_speed: float,
+    max_order: int = 3,
+    surface_coeff: float = -0.95,
+    bottom_coeff: float = 0.6,
+    frequency_hz: float = 3_000.0,
+    min_relative_amplitude: float = 1e-4,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Array-first :func:`image_method_taps`: ``(delays, amps, surf, bot)``.
+
+    Bit-identical to the tap list (same values, same delay-sorted
+    order).  The per-image arithmetic vectorises ops that are exact
+    element-wise (`hypot`, `maximum`, multiplies); the two places where
+    numpy's vectorised transcendentals round differently from the
+    scalar loop's libm calls — reflection-coefficient integer powers
+    and the ``10**x`` absorption factor — go through Python's ``pow``
+    per element, exactly as the scalar path does.
+    """
+    tx = np.asarray(tx_pos, dtype=float)
+    rx = np.asarray(rx_pos, dtype=float)
+    if tx.shape != (3,) or rx.shape != (3,):
+        raise ValueError("positions must be 3-vectors (x, y, z-depth)")
+    if water_depth <= 0:
+        raise ValueError("water_depth must be positive")
+    for name, z in (("tx", tx[2]), ("rx", rx[2])):
+        if not 0 <= z <= water_depth:
+            raise ValueError(f"{name} depth {z} outside water column [0, {water_depth}]")
+    if sound_speed <= 0:
+        raise ValueError("sound_speed must be positive")
+    if not -1.0 <= surface_coeff <= 0.0:
+        raise ValueError("surface_coeff must be in [-1, 0]")
+    if not 0.0 <= bottom_coeff <= 1.0:
+        raise ValueError("bottom_coeff must be in [0, 1]")
+
+    horizontal = float(np.hypot(rx[0] - tx[0], rx[1] - tx[1]))
+    direct_range = float(np.linalg.norm(rx - tx))
+    direct_range = max(direct_range, 1e-3)
+    direct_amp = 1.0 / max(direct_range, 1.0)
+
+    image_z: List[float] = []
+    n_surf: List[int] = []
+    n_bot: List[int] = []
+    for z, s, b in _image_depths(tx[2], water_depth, max_order):
+        image_z.append(z)
+        n_surf.append(s)
+        n_bot.append(b)
+    surf = np.asarray(n_surf, dtype=np.int64)
+    bot = np.asarray(n_bot, dtype=np.int64)
+    path_len = np.hypot(horizontal, rx[2] - np.asarray(image_z))
+    path_len = np.maximum(path_len, 1e-3)
+
+    max_bounces = int(max(surf.max(), bot.max()))
+    surf_pow = np.array([surface_coeff**k for k in range(max_bounces + 1)])
+    bot_pow = np.array([bottom_coeff**k for k in range(max_bounces + 1)])
+    amps = (1.0 / np.maximum(path_len, 1.0)) * surf_pow[surf] * bot_pow[bot]
+    loss_db = absorption_loss_db(path_len, frequency_hz)
+    amps = amps * np.array([10.0 ** x for x in (-loss_db / 20.0).tolist()])
+
+    keep = ~(np.abs(amps) < min_relative_amplitude * direct_amp)
+    if not np.any(keep):
+        raise RuntimeError("image method produced no taps (thresholds too strict?)")
+    delays = path_len[keep] / sound_speed
+    amps, surf, bot = amps[keep], surf[keep], bot[keep]
+    order = np.argsort(delays, kind="stable")
+    return delays[order], amps[order], surf[order], bot[order]
 
 
 def delay_spread(taps: Sequence[PathTap], power_fraction: float = 0.99) -> float:

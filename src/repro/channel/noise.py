@@ -11,6 +11,7 @@ damped band-limited bursts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import signal as sp_signal
@@ -50,13 +51,32 @@ class NoiseModel:
         )
 
 
-def _bandpass(x: np.ndarray, sample_rate: float) -> np.ndarray:
-    """Constrain noise to the audible underwater band used by the system."""
+@lru_cache(maxsize=8)
+def _bandpass_sos_design(sample_rate: float) -> np.ndarray:
     nyq = sample_rate / 2
     low = max(BAND_LOW_HZ * 0.5, 10.0) / nyq
     high = min(BAND_HIGH_HZ * 1.5, nyq * 0.95) / nyq
-    sos = sp_signal.butter(4, [low, high], btype="bandpass", output="sos")
-    return sp_signal.sosfilt(sos, x)
+    return sp_signal.butter(4, [low, high], btype="bandpass", output="sos")
+
+
+def bandpass_sos(sample_rate: float) -> np.ndarray:
+    """The band-limiting filter for a given rate (design is deterministic).
+
+    ``scipy.signal.butter`` returns bit-identical coefficients on every
+    call with the same arguments, so caching the design cannot change
+    any filtered sample — it only removes the per-call design cost from
+    hot paths (the batch renderer filters hundreds of noise rows with
+    one cached SOS).  Returns a fresh writable copy each call
+    (``sosfilt`` needs a writable buffer, and sharing one mutable array
+    across callers would let an in-place edit corrupt every later
+    filter).
+    """
+    return _bandpass_sos_design(sample_rate).copy()
+
+
+def _bandpass(x: np.ndarray, sample_rate: float) -> np.ndarray:
+    """Constrain noise to the audible underwater band used by the system."""
+    return sp_signal.sosfilt(bandpass_sos(sample_rate), x)
 
 
 def ambient_noise(

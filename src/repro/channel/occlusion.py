@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.channel.multipath import PathTap
 
 
@@ -32,6 +34,22 @@ class Occlusion:
 
     direct_attenuation_db: float = 60.0
     low_order_attenuation_db: float = 10.0
+
+
+def occlusion_gain_array(
+    surface_bounces: np.ndarray,
+    bottom_bounces: np.ndarray,
+    occlusion: Occlusion,
+) -> np.ndarray:
+    """Per-tap occlusion gains from bounce counts (array twin of
+    :func:`apply_occlusion`; same gains bit for bit)."""
+    direct_gain = 10.0 ** (-occlusion.direct_attenuation_db / 20.0)
+    low_gain = 10.0 ** (-occlusion.low_order_attenuation_db / 20.0)
+    total = surface_bounces + bottom_bounces
+    gains = np.ones(total.shape)
+    gains[total == 1] = low_gain
+    gains[total == 0] = direct_gain
+    return gains
 
 
 def apply_occlusion(taps: Sequence[PathTap], occlusion: Occlusion) -> List[PathTap]:

@@ -9,10 +9,11 @@ more than accurate enough).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import signal as sp_signal
+from scipy.fft import irfft, next_fast_len, rfft
 
 from repro.channel.multipath import PathTap
 
@@ -52,15 +53,145 @@ def render_taps(
     positions = delays * sample_rate
     needed = int(np.ceil(positions.max())) + 2
     n = needed if length is None else int(length)
-    fir = np.zeros(n)
-    for pos, amp in zip(positions, amps):
-        base = int(np.floor(pos))
-        frac = pos - base
-        if base + 1 >= n:
-            continue
-        fir[base] += amp * (1.0 - frac)
-        fir[base + 1] += amp * frac
+    return render_taps_positions(positions, amps, n)
+
+
+def render_taps_positions(
+    positions: np.ndarray,
+    amplitudes: np.ndarray,
+    length: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Array-first :func:`render_taps` core: sample positions -> FIR.
+
+    Bit-identical to the scalar loop: ``np.add.at`` accumulates in
+    index order, and the indices interleave ``(base, base + 1)`` per
+    tap exactly as the loop does.  ``out`` (length >= ``length``,
+    pre-zeroed) lets callers scatter straight into a batch slab row.
+    """
+    positions = np.asarray(positions, dtype=float)
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    n = int(length)
+    fir = np.zeros(n) if out is None else out
+    if positions.size == 0:
+        return fir
+    base = np.floor(positions).astype(np.int64)
+    frac = positions - base
+    keep = base + 1 < n
+    if not np.any(keep):
+        return fir
+    base, frac, amps = base[keep], frac[keep], amplitudes[keep]
+    idx = np.empty(2 * base.size, dtype=np.int64)
+    idx[0::2] = base
+    idx[1::2] = base + 1
+    vals = np.empty(2 * base.size)
+    vals[0::2] = amps * (1.0 - frac)
+    vals[1::2] = amps * frac
+    np.add.at(fir, idx, vals)
     return fir
+
+
+def render_taps_batch(
+    positions: Sequence[np.ndarray],
+    amplitudes: Sequence[np.ndarray],
+    lengths: Sequence[int],
+    width: int | None = None,
+) -> np.ndarray:
+    """Scatter many tap lists into one ``(rows, width)`` FIR slab.
+
+    Each row is bit-identical to :func:`render_taps` called with that
+    row's ``length`` (positions are tap delays already multiplied by
+    the sample rate).  ``width`` defaults to ``max(lengths)``; rows
+    whose ``length`` is shorter are zero beyond it, matching the scalar
+    FIR's size semantics for the subsequent convolution.
+    """
+    rows = len(positions)
+    if not (rows == len(amplitudes) == len(lengths)):
+        raise ValueError("positions/amplitudes/lengths must align")
+    w = int(max(lengths)) if width is None else int(width)
+    slab = np.zeros((rows, w))
+    for r in range(rows):
+        n = min(int(lengths[r]), w)
+        slab[r, :n] = render_taps_positions(positions[r], amplitudes[r], int(lengths[r]))[:n]
+    return slab
+
+
+class CachedWaveform:
+    """A transmit waveform with per-transform-length spectrum cache."""
+
+    def __init__(self, waveform: np.ndarray):
+        self.waveform = np.asarray(waveform, dtype=float)
+        self.size = self.waveform.size
+        self._fft: Dict[int, np.ndarray] = {}
+
+    def fft(self, nf: int) -> np.ndarray:
+        spec = self._fft.get(nf)
+        if spec is None:
+            spec = rfft(self.waveform, nf)
+            self._fft[nf] = spec
+        return spec
+
+
+def apply_channel_batch(
+    wave: CachedWaveform | np.ndarray,
+    fir_rows: Sequence[np.ndarray],
+    fir_lengths: Sequence[int],
+    output_lengths: Sequence[int],
+) -> List[np.ndarray]:
+    """Batched tail of :func:`apply_channel`: ``fftconvolve`` + slice/pad.
+
+    ``fir_rows[r][:fir_lengths[r]]`` is row ``r``'s FIR (anything
+    beyond is ignored); the convolution uses the same
+    ``next_fast_len`` transform size the scalar path picks for that
+    FIR length, so outputs are bit-identical.  The waveform spectrum
+    is computed once per distinct transform length.
+    """
+    cached = wave if isinstance(wave, CachedWaveform) else CachedWaveform(wave)
+    fulls = [cached.size + int(n) - 1 for n in fir_lengths]
+    out: List[np.ndarray] = [None] * len(fir_rows)  # type: ignore[list-item]
+
+    def _materialise(idx: int) -> np.ndarray:
+        row = fir_rows[idx]
+        n_fir = int(fir_lengths[idx])
+        if isinstance(row, tuple):
+            return render_taps_positions(row[0], row[1], n_fir)
+        return np.asarray(row, dtype=float)[:n_fir]
+
+    groups: Dict[int, List[int]] = {}
+    for idx, full in enumerate(fulls):
+        if cached.size == 1 or int(fir_lengths[idx]) == 1:
+            # fftconvolve drops length-1 axes and multiplies directly.
+            n_out = int(output_lengths[idx])
+            body = (cached.waveform * _materialise(idx))[:n_out]
+            if body.size < n_out:
+                body = np.pad(body, (0, n_out - body.size))
+            out[idx] = body
+            continue
+        groups.setdefault(next_fast_len(full, True), []).append(idx)
+    for nf, rows in groups.items():
+        stacked = np.zeros((len(rows), nf))
+        for k, idx in enumerate(rows):
+            n_fir = int(fir_lengths[idx])
+            row = fir_rows[idx]
+            if isinstance(row, tuple):
+                # (positions, amplitudes): scatter the FIR straight
+                # into the transform buffer.
+                render_taps_positions(row[0], row[1], n_fir, out=stacked[k])
+            else:
+                stacked[k, :n_fir] = row[:n_fir]
+        spec = rfft(stacked, nf, axis=-1)
+        # fftconvolve computes fft(wave) * fft(fir) in that operand
+        # order; complex multiplication is *not* bitwise-commutative
+        # under FMA, so preserve it (out= aliasing x2 is fine).
+        np.multiply(cached.fft(nf), spec, out=spec)
+        conv = irfft(spec, nf, axis=-1)
+        for k, idx in enumerate(rows):
+            n_out = int(output_lengths[idx])
+            body = conv[k, : fulls[idx]][:n_out]
+            if body.size < n_out:
+                body = np.pad(body, (0, n_out - body.size))
+            out[idx] = body
+    return out
 
 
 def apply_channel(

@@ -45,6 +45,9 @@ AUTOCORR_THRESHOLD = 0.35
 
 #: Conservative margin added to the per-channel noise floor when searching
 #: for the direct path (the paper's ``lambda``), on the normalised channel.
+#: Calibrated against the *amplitude-scale* noise floor (mean |tail|, see
+#: ``repro.signals.peaks.noise_floor``), not the paper's literal mean
+#: power, which would be quadratically smaller on a [0, 1] channel.
 DIRECT_PATH_MARGIN = 0.2
 
 #: Number of trailing channel taps used to estimate the channel noise floor.

@@ -32,7 +32,18 @@ import traceback
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -117,6 +128,10 @@ class ExperimentSpec:
     entry: str = "campaign"
     variants: Tuple[Variant, ...] = (Variant("default"),)
     sweepable: frozenset = frozenset()
+    #: Supports intra-experiment trial chunking: the entry accepts a
+    #: ``chunk=(index, total)`` kwarg and the module provides a
+    #: ``merge_chunks(raws) -> ExperimentOutput`` function.
+    chunkable: bool = False
 
     def variant(self, name: str) -> Variant:
         for v in self.variants:
@@ -134,11 +149,15 @@ class ExperimentOutput:
 
     ``measured`` holds the headline numbers as plain (JSON-friendly)
     structures; ``report`` is the human-readable paper-vs-measured
-    comparison previously only printed by the serial runner.
+    comparison previously only printed by the serial runner.  ``raw``
+    carries the per-trial payload a chunkable experiment's
+    ``merge_chunks`` needs to recombine partial runs; it never reaches
+    the JSON artifact.
     """
 
     measured: Dict[str, Any]
     report: str = ""
+    raw: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -158,6 +177,11 @@ class ExperimentResult:
     report: str
     wall_time_s: float
     error: Optional[str] = None
+    #: Chunk coordinates while a job is in flight; merged results and
+    #: unchunked runs carry ``None``.  Excluded from the JSON artifact.
+    chunk: Optional[Tuple[int, int]] = None
+    #: Per-trial payload for ``merge_chunks``; never serialised.
+    raw: Optional[Dict[str, Any]] = None
 
     @property
     def label(self) -> str:
@@ -202,6 +226,7 @@ def register(
     cost: str = "moderate",
     variants: Optional[Sequence[Variant]] = None,
     sweepable: Iterable[str] = (),
+    chunkable: bool = False,
 ) -> Callable:
     """Decorator: register ``func`` as the campaign entry for ``name``."""
 
@@ -216,6 +241,7 @@ def register(
             entry=func.__name__,
             variants=tuple(variants) if variants else (Variant("default"),),
             sweepable=frozenset(sweepable),
+            chunkable=chunkable,
         )
         _REGISTRY[name] = spec
         func.spec = spec
@@ -253,6 +279,36 @@ def get_spec(name: str) -> ExperimentSpec:
 def scaled(count: int, scale: float, minimum: int = 1) -> int:
     """Scale a trial count, never below ``minimum`` (for --scale sweeps)."""
     return max(minimum, int(round(count * scale)))
+
+
+def check_backend(backend: str) -> str:
+    """Validate a waveform-backend name (shared by the figure entries)."""
+    if backend not in ("batch", "legacy"):
+        raise ValueError(f"unknown backend {backend!r} (use 'batch' or 'legacy')")
+    return backend
+
+
+def chunk_share(count: int, chunk: Optional[Tuple[int, int]]) -> int:
+    """This chunk's share of ``count`` trials (all of them when unchunked).
+
+    Shares are as even as possible and sum to ``count`` across chunks:
+    chunk ``i`` of ``k`` gets ``count // k`` plus one of the first
+    ``count % k`` remainder trials.
+    """
+    if chunk is None:
+        return count
+    index, total = chunk
+    if not 0 <= index < total:
+        raise ValueError(f"chunk index {index} outside [0, {total})")
+    return count // total + (1 if index < count % total else 0)
+
+
+def chunk_offset(count: int, chunk: Optional[Tuple[int, int]]) -> int:
+    """Index of this chunk's first trial in the unchunked ordering."""
+    if chunk is None:
+        return 0
+    index, total = chunk
+    return sum(chunk_share(count, (i, total)) for i in range(index))
 
 
 # ---------------------------------------------------------------------------
@@ -325,9 +381,15 @@ def sweep_variants(grid: Mapping[str, Sequence[Any]]) -> Tuple[Variant, ...]:
 def _plan_jobs(
     names: Sequence[str],
     sweep: Optional[Mapping[str, Sequence[Any]]],
-) -> List[Tuple[str, str, Dict[str, Any]]]:
-    """(experiment, variant-name, params) jobs in deterministic order."""
-    jobs: List[Tuple[str, str, Dict[str, Any]]] = []
+    trial_chunks: int = 1,
+) -> List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]]:
+    """(experiment, variant, params, chunk) jobs in deterministic order.
+
+    With ``trial_chunks > 1``, chunkable experiments expand into one
+    job per chunk (merged back after execution), so a process pool
+    parallelises *trials*, not just whole experiments.
+    """
+    jobs: List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]] = []
     for name in names:
         spec = get_spec(name)
         applicable = {
@@ -335,7 +397,13 @@ def _plan_jobs(
         }
         variants = sweep_variants(applicable) if applicable else spec.variants
         for variant in variants:
-            jobs.append((name, variant.name, dict(variant.params)))
+            if trial_chunks > 1 and spec.chunkable:
+                for index in range(trial_chunks):
+                    jobs.append(
+                        (name, variant.name, dict(variant.params), (index, trial_chunks))
+                    )
+            else:
+                jobs.append((name, variant.name, dict(variant.params), None))
     return jobs
 
 
@@ -350,16 +418,28 @@ def _execute(
     params: Dict[str, Any],
     base_seed: int,
     scale: float,
+    chunk: Optional[Tuple[int, int]] = None,
 ) -> ExperimentResult:
-    """Run one (experiment, variant) job; module-level so workers can run it."""
+    """Run one (experiment, variant[, chunk]) job; module-level so
+    workers can run it.
+
+    A chunk job draws from ``variant_seed.spawn(total)[index]`` — a
+    deterministic function of (base_seed, experiment, variant, chunk)
+    only, so chunked campaigns are byte-identical for any worker count.
+    """
     spec = get_spec(name)
     seed_seq = variant_seed_sequence(name, variant_name, base_seed)
+    kwargs = dict(params)
+    if chunk is not None:
+        seed_seq = seed_seq.spawn(chunk[1])[chunk[0]]
+        kwargs["chunk"] = chunk
     rng = np.random.default_rng(seed_seq)
     start = time.perf_counter()
+    raw = None
     try:
-        output = spec.resolve_entry()(rng, scale=scale, **params)
+        output = spec.resolve_entry()(rng, scale=scale, **kwargs)
         status, error = "ok", None
-        measured, report = output.measured, output.report
+        measured, report, raw = output.measured, output.report, output.raw
     except Exception:
         status, error = "error", traceback.format_exc(limit=8)
         measured, report = {}, ""
@@ -377,7 +457,77 @@ def _execute(
         report=report,
         wall_time_s=time.perf_counter() - start,
         error=error,
+        chunk=chunk,
+        raw=raw,
     )
+
+
+def _merge_chunk_group(group: List[ExperimentResult]) -> ExperimentResult:
+    """Fold a variant's chunk results into one merged result."""
+    first = group[0]
+    spec = get_spec(first.experiment)
+    variant_seq = variant_seed_sequence(first.experiment, first.variant, first.base_seed)
+    wall = sum(r.wall_time_s for r in group)
+    failed = [r for r in group if r.status != "ok"]
+    if failed:
+        status, error = "error", "\n".join(filter(None, (r.error for r in failed)))
+        measured: Dict[str, Any] = {}
+        report = ""
+    else:
+        merge = getattr(importlib.import_module(spec.module), "merge_chunks")
+        try:
+            output = merge([r.raw for r in group])
+            status, error = "ok", None
+            measured, report = output.measured, output.report
+        except Exception:
+            status, error = "error", traceback.format_exc(limit=8)
+            measured, report = {}, ""
+    return ExperimentResult(
+        experiment=first.experiment,
+        variant=first.variant,
+        title=first.title,
+        paper_ref=first.paper_ref,
+        params=first.params,
+        base_seed=first.base_seed,
+        spawn_key=tuple(int(k) for k in variant_seq.spawn_key),
+        status=status,
+        measured=measured,
+        paper=first.paper,
+        report=report,
+        wall_time_s=wall,
+        error=error,
+    )
+
+
+def _merge_stream(results: Iterable[ExperimentResult]) -> Iterator[ExperimentResult]:
+    """Merge consecutive chunk jobs back into whole-variant results.
+
+    Yields each merged (or unchunked) result as soon as it is complete,
+    so callers can stream progress while later jobs are still running.
+    A group closes when it holds its declared chunk count, so repeated
+    experiment selections (``["fig14", "fig14"]``) merge into one
+    result *per selection*, not one combined result.
+    """
+    group: List[ExperimentResult] = []
+    for result in results:
+        if result.chunk is None:
+            if group:
+                yield _merge_chunk_group(group)
+                group = []
+            yield result
+            continue
+        if group and (
+            group[0].experiment != result.experiment
+            or group[0].variant != result.variant
+        ):
+            yield _merge_chunk_group(group)
+            group = []
+        group.append(result)
+        if len(group) == group[0].chunk[1]:
+            yield _merge_chunk_group(group)
+            group = []
+    if group:
+        yield _merge_chunk_group(group)
 
 
 def run_campaign(
@@ -387,41 +537,48 @@ def run_campaign(
     workers: int = 1,
     scale: float = 1.0,
     sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+    trial_chunks: int = 1,
     progress: Optional[Callable[[ExperimentResult], None]] = None,
 ) -> List[ExperimentResult]:
     """Run the selected experiments (all by default), serial or parallel.
 
     Results come back in deterministic job order regardless of
     ``workers``; a failing experiment yields a ``status="error"``
-    result instead of aborting the campaign.
+    result instead of aborting the campaign.  ``trial_chunks > 1``
+    splits chunkable experiments into that many trial-chunk jobs (each
+    on its own spawned substream) and merges them after execution:
+    ``--workers`` then parallelises inside an experiment, and the
+    artifact depends only on ``(base_seed, trial_chunks)`` — never on
+    the worker count.
     """
     load_registry()
     selected = list(names) if names else [n for n in CANONICAL_ORDER if n in _REGISTRY]
     unknown = [n for n in selected if n not in _REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
-    jobs = _plan_jobs(selected, sweep)
+    if trial_chunks < 1:
+        raise ValueError("trial_chunks must be >= 1")
+    jobs = _plan_jobs(selected, sweep, trial_chunks)
 
-    results: List[ExperimentResult] = []
-    if workers <= 1:
-        for name, variant, params in jobs:
-            result = _execute(name, variant, params, base_seed, scale)
+    def _collect(raw_results: Iterable[ExperimentResult]) -> List[ExperimentResult]:
+        merged: List[ExperimentResult] = []
+        for result in _merge_stream(raw_results):
             if progress:
                 progress(result)
-            results.append(result)
-        return results
+            merged.append(result)
+        return merged
 
+    if workers <= 1:
+        return _collect(
+            _execute(name, variant, params, base_seed, scale, chunk)
+            for name, variant, params, chunk in jobs
+        )
     with ProcessPoolExecutor(max_workers=min(workers, max(len(jobs), 1))) as pool:
         futures = [
-            pool.submit(_execute, name, variant, params, base_seed, scale)
-            for name, variant, params in jobs
+            pool.submit(_execute, name, variant, params, base_seed, scale, chunk)
+            for name, variant, params, chunk in jobs
         ]
-        for future in futures:
-            result = future.result()
-            if progress:
-                progress(result)
-            results.append(result)
-    return results
+        return _collect(future.result() for future in futures)
 
 
 # ---------------------------------------------------------------------------

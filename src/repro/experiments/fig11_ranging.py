@@ -4,22 +4,36 @@ Paper section 3.1: two Samsung S9 phones at the dock, submerged 2.5 m,
 separations 10/20/35/45 m, ~60 exchanges per distance. (a) CDF of the
 absolute ranging error per distance; (b) 95th-percentile error using
 both microphones vs the bottom or top microphone alone.
+
+Both studies run on either waveform backend (``backend="batch"`` is
+the default and is bit-identical to ``"legacy"`` on the same seed; see
+``tests/test_batch_parity.py``), and the campaign entry supports trial
+chunking for intra-experiment parallelism.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.environment import DOCK
+from repro.constants import DIRECT_PATH_MARGIN
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.ranging.batch import (
+    channel_impulse_response_batch,
+    detect_preamble_batch,
+    estimate_direct_path_fast,
+    ls_channel_estimate_batch,
+    single_mic_direct_path_fast,
+)
 from repro.ranging.detector import detect_preamble
-from repro.ranging.estimator import single_mic_direct_path
+from repro.ranging.estimator import estimate_direct_path, single_mic_direct_path
 from repro.signals.channel_est import channel_impulse_response, ls_channel_estimate
 from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchExchangeRenderer, BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
 
 #: Paper-reported median ranging errors (m) by separation.
@@ -27,6 +41,11 @@ PAPER_MEDIAN_ERROR_M = {10: 0.48, 20: 0.80, 35: 0.86}
 
 #: Paper-reported 95th percentile improvement at 45 m using both mics.
 PAPER_DUAL_MIC_GAIN_45M = 4.52
+
+#: Taps treated as negative delays by the fine stage (see pairwise.py).
+_WRAP_MARGIN = 96
+
+
 
 
 @dataclass(frozen=True)
@@ -43,13 +62,16 @@ def run_ranging_sweep(
     distances_m: Sequence[float] = (10.0, 20.0, 35.0, 45.0),
     num_exchanges: int = 60,
     depth_m: float = 2.5,
+    backend: str = "batch",
 ) -> List[RangingSweepResult]:
     """Fig. 11a: ranging error distribution per separation."""
+    engine.check_backend(backend)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for distance in distances_m:
-        errors = []
+        sim = BatchOneWay(preamble) if backend == "batch" else None
+        errors: List[float] = []
         for _ in range(num_exchanges):
             # Sessions vary slightly in geometry (the paper re-submerged
             # the phones every ~20 measurements).
@@ -57,8 +79,12 @@ def run_ranging_sweep(
             depth_rx = depth_m + rng.uniform(-0.2, 0.2)
             tx = np.array([0.0, 0.0, depth_tx])
             rx = np.array([distance + rng.uniform(-0.1, 0.1), 0.0, depth_rx])
-            measurement = one_way_range(preamble, tx, rx, config, rng)
-            errors.append(measurement.error_m)
+            if sim is not None:
+                sim.add(tx, rx, config, rng)
+            else:
+                errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        if sim is not None:
+            errors = [m.error_m for m in sim.run()]
         errors = np.asarray(errors)
         results.append(
             RangingSweepResult(
@@ -78,6 +104,108 @@ class MicAblationResult:
     p95_both_m: float
     p95_bottom_only_m: float
     p95_top_only_m: float
+    errors: Optional[Dict[str, List[float]]] = None
+
+
+def _ablation_errors_legacy(
+    rng, preamble, config, distance, num_exchanges, depth_m, fs
+) -> Dict[str, List[float]]:
+    errs: Dict[str, List[float]] = {"both": [], "bottom": [], "top": []}
+    for _ in range(num_exchanges):
+        tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
+        rx = np.array(
+            [distance + rng.uniform(-0.1, 0.1), 0.0, depth_m + rng.uniform(-0.2, 0.2)]
+        )
+        sound_speed = DOCK.sound_speed(depth_m)
+        mic1, mic2, guard, true_idx = simulate_reception(preamble, tx, rx, config, rng)
+        detection = detect_preamble(mic1, preamble, config.detection)
+        if detection is None:
+            for key in errs:
+                errs[key].append(np.nan)
+            continue
+        cirs = []
+        for stream in (mic1, mic2):
+            h = ls_channel_estimate(stream, preamble, detection.start_index)
+            cirs.append(
+                np.roll(channel_impulse_response(h, preamble.config.ofdm), _WRAP_MARGIN)
+            )
+        joint = estimate_direct_path(
+            cirs[0], cirs[1], sound_speed=sound_speed, sample_rate=fs
+        )
+        if joint is not None:
+            est = detection.start_index + joint.tap - _WRAP_MARGIN
+            errs["both"].append((est - true_idx) / fs * sound_speed)
+        else:
+            errs["both"].append(np.nan)
+        for key, cir in (("bottom", cirs[0]), ("top", cirs[1])):
+            tap = single_mic_direct_path(cir, search_limit=512 + _WRAP_MARGIN)
+            if tap is None:
+                errs[key].append(np.nan)
+            else:
+                est = detection.start_index + tap - _WRAP_MARGIN
+                errs[key].append((est - true_idx) / fs * sound_speed)
+    return errs
+
+
+def _ablation_errors_batch(
+    rng, preamble, config, distance, num_exchanges, depth_m, fs
+) -> Dict[str, List[float]]:
+    from repro.constants import MIC_SEPARATION_M
+
+    renderer = BatchExchangeRenderer(preamble)
+    for _ in range(num_exchanges):
+        tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
+        rx = np.array(
+            [distance + rng.uniform(-0.1, 0.1), 0.0, depth_m + rng.uniform(-0.2, 0.2)]
+        )
+        renderer.add(tx, rx, config, rng)
+    receptions = renderer.render()
+    sound_speed = DOCK.sound_speed(depth_m)
+    detections = detect_preamble_batch(
+        [r.mic1 for r in receptions], preamble, [config.detection] * len(receptions)
+    )
+    hit = [i for i, d in enumerate(detections) if d is not None]
+    cir1 = cir2 = None
+    if hit:
+        starts = [detections[i].start_index for i in hit]
+        h1 = ls_channel_estimate_batch([receptions[i].mic1 for i in hit], preamble, starts)
+        h2 = ls_channel_estimate_batch([receptions[i].mic2 for i in hit], preamble, starts)
+        ofdm = preamble.config.ofdm
+        cir1 = np.roll(channel_impulse_response_batch(h1, ofdm), _WRAP_MARGIN, axis=-1)
+        cir2 = np.roll(channel_impulse_response_batch(h2, ofdm), _WRAP_MARGIN, axis=-1)
+    errs: Dict[str, List[float]] = {"both": [], "bottom": [], "top": []}
+    row_of = {i: k for k, i in enumerate(hit)}
+    for i, reception in enumerate(receptions):
+        detection = detections[i]
+        if detection is None:
+            for key in errs:
+                errs[key].append(np.nan)
+            continue
+        k = row_of[i]
+        true_idx = reception.true_arrival
+        joint = estimate_direct_path_fast(
+            cir1[k],
+            cir2[k],
+            mic_separation_m=MIC_SEPARATION_M,
+            sound_speed=sound_speed,
+            sample_rate=fs,
+            margin=DIRECT_PATH_MARGIN,
+        )
+        if joint is not None:
+            est = detection.start_index + joint.tap - _WRAP_MARGIN
+            errs["both"].append((est - true_idx) / fs * sound_speed)
+        else:
+            errs["both"].append(np.nan)
+        for key, cir in (("bottom", cir1[k]), ("top", cir2[k])):
+            tap = single_mic_direct_path_fast(
+                cir, margin=DIRECT_PATH_MARGIN, search_limit=512 + _WRAP_MARGIN
+            )
+            if tap is None:
+                errs[key].append(np.nan)
+            else:
+                est = detection.start_index + tap - _WRAP_MARGIN
+                errs[key].append((est - true_idx) / fs * sound_speed)
+    return errs
 
 
 def run_mic_ablation(
@@ -85,62 +213,28 @@ def run_mic_ablation(
     distances_m: Sequence[float] = (10.0, 20.0, 35.0, 45.0),
     num_exchanges: int = 40,
     depth_m: float = 2.5,
+    backend: str = "batch",
 ) -> List[MicAblationResult]:
     """Fig. 11b: dual-mic estimator vs each single mic in isolation.
 
     Runs the same received streams through the joint estimator and the
     single-channel earliest-peak estimator, so the comparison is paired.
     """
+    engine.check_backend(backend)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     fs = preamble.config.ofdm.sample_rate
+    collect = _ablation_errors_batch if backend == "batch" else _ablation_errors_legacy
     out = []
     for distance in distances_m:
-        errs: Dict[str, List[float]] = {"both": [], "bottom": [], "top": []}
-        for _ in range(num_exchanges):
-            tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
-            rx = np.array(
-                [distance + rng.uniform(-0.1, 0.1), 0.0, depth_m + rng.uniform(-0.2, 0.2)]
-            )
-            sound_speed = DOCK.sound_speed(depth_m)
-            mic1, mic2, guard, true_idx = simulate_reception(
-                preamble, tx, rx, config, rng
-            )
-            detection = detect_preamble(mic1, preamble, config.detection)
-            if detection is None:
-                for key in errs:
-                    errs[key].append(np.nan)
-                continue
-            cirs = []
-            for stream in (mic1, mic2):
-                h = ls_channel_estimate(stream, preamble, detection.start_index)
-                cirs.append(
-                    np.roll(channel_impulse_response(h, preamble.config.ofdm), 96)
-                )
-            from repro.ranging.estimator import estimate_direct_path
-
-            joint = estimate_direct_path(
-                cirs[0], cirs[1], sound_speed=sound_speed, sample_rate=fs
-            )
-            true_arrival = true_idx
-            if joint is not None:
-                est = detection.start_index + joint.tap - 96
-                errs["both"].append((est - true_arrival) / fs * sound_speed)
-            else:
-                errs["both"].append(np.nan)
-            for key, cir in (("bottom", cirs[0]), ("top", cirs[1])):
-                tap = single_mic_direct_path(cir, search_limit=512 + 96)
-                if tap is None:
-                    errs[key].append(np.nan)
-                else:
-                    est = detection.start_index + tap - 96
-                    errs[key].append((est - true_arrival) / fs * sound_speed)
+        errs = collect(rng, preamble, config, distance, num_exchanges, depth_m, fs)
         out.append(
             MicAblationResult(
                 distance_m=float(distance),
                 p95_both_m=summarize_errors(errs["both"]).p95,
                 p95_bottom_only_m=summarize_errors(errs["bottom"]).p95,
                 p95_top_only_m=summarize_errors(errs["top"]).p95,
+                errors=errs,
             )
         )
     return out
@@ -170,27 +264,26 @@ def format_mic_ablation(results: List[MicAblationResult]) -> str:
     return "\n".join(lines)
 
 
-@engine.register(
-    name="fig11",
-    title="1D ranging accuracy vs device separation",
-    paper_ref="Fig. 11",
-    paper={"median_error_m": PAPER_MEDIAN_ERROR_M,
-           "dual_mic_gain_45m_p95": PAPER_DUAL_MIC_GAIN_45M},
-    cost="heavy",
-    sweepable=("num_exchanges",),
-)
-def campaign(
-    rng,
-    *,
-    scale: float = 1.0,
-    num_exchanges: int = 40,
-    ablation_exchanges: int = 25,
-):
-    """Fig. 11a sweep plus the Fig. 11b microphone ablation."""
-    sweep = run_ranging_sweep(rng, num_exchanges=engine.scaled(num_exchanges, scale))
-    ablation = run_mic_ablation(
-        rng, num_exchanges=engine.scaled(ablation_exchanges, scale)
-    )
+def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
+    """Build the campaign output from raw per-trial errors."""
+    sweep = [
+        RangingSweepResult(
+            distance_m=float(distance),
+            summary=summarize_errors(np.asarray(errors)),
+            errors_m=np.asarray(errors),
+        )
+        for distance, errors in raw["sweep"]
+    ]
+    ablation = [
+        MicAblationResult(
+            distance_m=float(distance),
+            p95_both_m=summarize_errors(errs["both"]).p95,
+            p95_bottom_only_m=summarize_errors(errs["bottom"]).p95,
+            p95_top_only_m=summarize_errors(errs["top"]).p95,
+            errors=errs,
+        )
+        for distance, errs in raw["ablation"]
+    ]
     measured = {
         "median_by_distance": {int(r.distance_m): r.summary.median for r in sweep},
         "p95_by_distance": {int(r.distance_m): r.summary.p95 for r in sweep},
@@ -204,4 +297,62 @@ def campaign(
         },
     }
     report = format_ranging_sweep(sweep) + "\n" + format_mic_ablation(ablation)
-    return engine.ExperimentOutput(measured=measured, report=report)
+    return engine.ExperimentOutput(measured=measured, report=report, raw=raw)
+
+
+def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
+    """Recombine chunked runs: concatenate per-distance trial errors."""
+    merged = {
+        "sweep": [
+            (distance, [e for raw in raws for e in dict(raw["sweep"])[distance]])
+            for distance, _ in raws[0]["sweep"]
+        ],
+        "ablation": [
+            (
+                distance,
+                {
+                    key: [
+                        e
+                        for raw in raws
+                        for e in dict(raw["ablation"])[distance][key]
+                    ]
+                    for key in ("both", "bottom", "top")
+                },
+            )
+            for distance, _ in raws[0]["ablation"]
+        ],
+    }
+    return _summarize_raw(merged)
+
+
+@engine.register(
+    name="fig11",
+    title="1D ranging accuracy vs device separation",
+    paper_ref="Fig. 11",
+    paper={"median_error_m": PAPER_MEDIAN_ERROR_M,
+           "dual_mic_gain_45m_p95": PAPER_DUAL_MIC_GAIN_45M},
+    cost="heavy",
+    sweepable=("num_exchanges", "backend"),
+    chunkable=True,
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_exchanges: int = 40,
+    ablation_exchanges: int = 25,
+    backend: str = "batch",
+    chunk: Optional[Tuple[int, int]] = None,
+):
+    """Fig. 11a sweep plus the Fig. 11b microphone ablation."""
+    n_sweep = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
+    n_ablation = engine.chunk_share(engine.scaled(ablation_exchanges, scale), chunk)
+    sweep = run_ranging_sweep(rng, num_exchanges=n_sweep, backend=backend)
+    ablation = run_mic_ablation(rng, num_exchanges=n_ablation, backend=backend)
+    raw = {
+        "sweep": [(r.distance_m, [float(e) for e in r.errors_m]) for r in sweep],
+        "ablation": [(r.distance_m, r.errors) for r in ablation],
+    }
+    if chunk is not None:
+        return engine.ExperimentOutput(measured={}, report="", raw=raw)
+    return _summarize_raw(raw)

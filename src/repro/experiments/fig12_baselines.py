@@ -6,12 +6,18 @@ detector across power thresholds, with preambles transmitted through
 the boathouse channel (spiky noise) plus noise-only trials.
 (b) 1D ranging error at 10/20/28 m for our dual-mic pipeline,
 BeepBeep's correlation peak, and CAT's FMCW dechirp.
+
+``backend="batch"`` renders/detects our pipeline batch-wise and
+evaluates the power-threshold sweep off a single power profile per
+stream (the threshold only enters a comparison); results are
+bit-identical to the legacy loop.  The baselines keep their per-trial
+evaluation — they already share the batch-rendered channel randomness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,10 +26,12 @@ from repro.channel.noise import make_noise
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.ranging.baselines import beepbeep_arrival, cat_fmcw_delay
+from repro.ranging.batch import detect_preamble_batch, power_threshold_hits
 from repro.ranging.detector import DetectionConfig, detect_power_threshold, detect_preamble
 from repro.signals.chirp import linear_chirp
 from repro.signals.fmcw import FmcwConfig
 from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchExchangeRenderer, BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
 
 #: Paper-reported mean 1D errors (m), read off Fig. 12b.
@@ -44,17 +52,15 @@ class DetectionRates:
     false_negative: float
 
 
-def run_detection_comparison(
+def _detection_counts(
     rng: np.random.Generator,
-    thresholds_db: Sequence[float] = (3.0, 6.0, 10.0, 15.0, 20.0),
-    num_trials: int = 40,
-    distance_m: float = 20.0,
-) -> List[DetectionRates]:
-    """Fig. 12a: detection FP/FN, ours vs window-power threshold.
-
-    FN: preamble transmitted but not detected (or detected >50 ms off).
-    FP: detection fired on a noise-only stream.
-    """
+    thresholds_db: Sequence[float],
+    num_trials: int,
+    distance_m: float,
+    backend: str,
+) -> Dict[str, object]:
+    """Raw FP/FN counts for both detectors (chunk-mergeable)."""
+    engine.check_backend(backend)
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
     config = ExchangeConfig(environment=BOATHOUSE)
@@ -62,49 +68,122 @@ def run_detection_comparison(
 
     # Pre-render signal-present and noise-only streams (shared across
     # thresholds so the comparison is paired).
-    present = []
-    for _ in range(num_trials):
-        tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
-        rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
-        mic1, _mic2, guard, true_idx = simulate_reception(preamble, tx, rx, config, rng)
-        present.append((mic1, true_idx))
+    if backend == "batch":
+        renderer = BatchExchangeRenderer(preamble)
+        for _ in range(num_trials):
+            tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+            rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+            renderer.add(tx, rx, config, rng)
+        present = [(r.mic1, r.true_arrival) for r in renderer.render()]
+    else:
+        present = []
+        for _ in range(num_trials):
+            tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+            rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
+            mic1, _mic2, _guard, true_idx = simulate_reception(
+                preamble, tx, rx, config, rng
+            )
+            present.append((mic1, true_idx))
     absent = [
         make_noise(int(0.6 * fs), BOATHOUSE.noise, rng, fs) for _ in range(num_trials)
     ]
 
+    if backend == "batch":
+        n_present = len(present)
+        detections = detect_preamble_batch(
+            [stream for stream, _ in present] + absent,
+            preamble,
+            [DetectionConfig()] * (n_present + len(absent)),
+        )
+        ours_fn = sum(
+            1
+            for (stream, true_idx), det in zip(present, detections[:n_present])
+            if det is None or abs(det.start_index - true_idx) > tol
+        )
+        ours_fp = sum(1 for det in detections[n_present:] if det is not None)
+        fmcw_fn = {float(th): 0 for th in thresholds_db}
+        fmcw_fp = {float(th): 0 for th in thresholds_db}
+        for stream, true_idx in present:
+            for th, hit in zip(
+                thresholds_db, power_threshold_hits(stream, thresholds_db)
+            ):
+                if hit is None or abs(hit - true_idx) > tol:
+                    fmcw_fn[float(th)] += 1
+        for stream in absent:
+            for th, hit in zip(
+                thresholds_db, power_threshold_hits(stream, thresholds_db)
+            ):
+                if hit is not None:
+                    fmcw_fp[float(th)] += 1
+    else:
+        ours_fn = 0
+        for stream, true_idx in present:
+            det = detect_preamble(stream, preamble, DetectionConfig())
+            if det is None or abs(det.start_index - true_idx) > tol:
+                ours_fn += 1
+        ours_fp = 0
+        for stream in absent:
+            if detect_preamble(stream, preamble, DetectionConfig()) is not None:
+                ours_fp += 1
+        fmcw_fn = {float(th): 0 for th in thresholds_db}
+        fmcw_fp = {float(th): 0 for th in thresholds_db}
+        for th in thresholds_db:
+            for stream, true_idx in present:
+                hit = detect_power_threshold(stream, threshold_db=th)
+                if hit is None or abs(hit - true_idx) > tol:
+                    fmcw_fn[float(th)] += 1
+            for stream in absent:
+                if detect_power_threshold(stream, threshold_db=th) is not None:
+                    fmcw_fp[float(th)] += 1
+    return {
+        "num_trials": num_trials,
+        "thresholds_db": [float(th) for th in thresholds_db],
+        "ours_fp": ours_fp,
+        "ours_fn": ours_fn,
+        "fmcw_fp": fmcw_fp,
+        "fmcw_fn": fmcw_fn,
+    }
+
+
+def _rates_from_counts(counts: Dict) -> List[DetectionRates]:
+    num_trials = counts["num_trials"]
     results: List[DetectionRates] = []
-    # Our detector has no dB threshold; report one row (constant across
-    # the sweep) using the paper's fixed thresholds.
-    ours_fn = 0
-    for stream, true_idx in present:
-        det = detect_preamble(stream, preamble, DetectionConfig())
-        if det is None or abs(det.start_index - true_idx) > tol:
-            ours_fn += 1
-    ours_fp = 0
-    for stream in absent:
-        if detect_preamble(stream, preamble, DetectionConfig()) is not None:
-            ours_fp += 1
-    for th in thresholds_db:
+    for th in counts["thresholds_db"]:
         results.append(
             DetectionRates(
-                "ours", float(th), ours_fp / num_trials, ours_fn / num_trials
+                "ours",
+                float(th),
+                counts["ours_fp"] / num_trials,
+                counts["ours_fn"] / num_trials,
             )
         )
-        fmcw_fn = 0
-        for stream, true_idx in present:
-            hit = detect_power_threshold(stream, threshold_db=th)
-            if hit is None or abs(hit - true_idx) > tol:
-                fmcw_fn += 1
-        fmcw_fp = 0
-        for stream in absent:
-            if detect_power_threshold(stream, threshold_db=th) is not None:
-                fmcw_fp += 1
         results.append(
             DetectionRates(
-                "fmcw", float(th), fmcw_fp / num_trials, fmcw_fn / num_trials
+                "fmcw",
+                float(th),
+                counts["fmcw_fp"][th] / num_trials,
+                counts["fmcw_fn"][th] / num_trials,
             )
         )
     return results
+
+
+def run_detection_comparison(
+    rng: np.random.Generator,
+    thresholds_db: Sequence[float] = (3.0, 6.0, 10.0, 15.0, 20.0),
+    num_trials: int = 40,
+    distance_m: float = 20.0,
+    backend: str = "batch",
+) -> List[DetectionRates]:
+    """Fig. 12a: detection FP/FN, ours vs window-power threshold.
+
+    FN: preamble transmitted but not detected (or detected >50 ms off).
+    FP: detection fired on a noise-only stream.  Our detector has no dB
+    threshold; its row repeats (constant) across the sweep.
+    """
+    return _rates_from_counts(
+        _detection_counts(rng, thresholds_db, num_trials, distance_m, backend)
+    )
 
 
 @dataclass(frozen=True)
@@ -116,17 +195,15 @@ class BaselineRangingResult:
     summary: ErrorSummary
 
 
-def run_baseline_ranging(
+def _baseline_errors(
     rng: np.random.Generator,
-    distances_m: Sequence[float] = (10.0, 20.0, 28.0),
-    num_exchanges: int = 30,
-    depth_m: float = 1.0,
-) -> List[BaselineRangingResult]:
-    """Fig. 12b: 1D ranging error, ours vs BeepBeep vs CAT.
-
-    All three signals share duration and bandwidth (the paper's "fair
-    comparison" control).
-    """
+    distances_m: Sequence[float],
+    num_exchanges: int,
+    depth_m: float,
+    backend: str,
+) -> Dict[str, List[Tuple[float, List[float]]]]:
+    """Raw per-algorithm, per-distance errors (chunk-mergeable)."""
+    engine.check_backend(backend)
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
     duration_s = len(preamble) / fs
@@ -142,15 +219,19 @@ def run_baseline_ranging(
     from repro.simulate.waveform_sim import _channel_fluctuation
 
     for distance in distances_m:
+        sim = BatchOneWay(preamble) if backend == "batch" else None
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
             rx = np.array([distance, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
             nominal_speed = BOATHOUSE.sound_speed(depth_m)
             true_d = float(np.linalg.norm(rx - tx))
 
-            # Ours: the standard pipeline.
-            ours = one_way_range(preamble, tx, rx, config, rng)
-            errors["ours"][distance].append(ours.error_m)
+            # Ours: the standard pipeline (batched or per exchange).
+            if sim is not None:
+                sim.add(tx, rx, config, rng)
+            else:
+                ours = one_way_range(preamble, tx, rx, config, rng)
+                errors["ours"][distance].append(ours.error_m)
 
             # Baselines ride the same channel realism: per-exchange tap
             # fluctuation and the same sound-speed uncertainty (receivers
@@ -199,10 +280,31 @@ def run_baseline_ranging(
                         anchor = max(coarse - margin, 0)
                         est = ((anchor - guard) / fs + delay) * nominal_speed
                         errors[name][distance].append(est - true_d)
+        if sim is not None:
+            errors["ours"][distance] = [m.error_m for m in sim.run()]
 
+    return {
+        name: [(float(d), [float(e) for e in errs]) for d, errs in by_distance.items()]
+        for name, by_distance in errors.items()
+    }
+
+
+def run_baseline_ranging(
+    rng: np.random.Generator,
+    distances_m: Sequence[float] = (10.0, 20.0, 28.0),
+    num_exchanges: int = 30,
+    depth_m: float = 1.0,
+    backend: str = "batch",
+) -> List[BaselineRangingResult]:
+    """Fig. 12b: 1D ranging error, ours vs BeepBeep vs CAT.
+
+    All three signals share duration and bandwidth (the paper's "fair
+    comparison" control).
+    """
+    raw = _baseline_errors(rng, distances_m, num_exchanges, depth_m, backend)
     out = []
-    for name, by_distance in errors.items():
-        for distance, errs in by_distance.items():
+    for name, by_distance in raw.items():
+        for distance, errs in by_distance:
             out.append(
                 BaselineRangingResult(
                     algorithm=name,
@@ -235,28 +337,17 @@ def format_baseline_ranging(results: List[BaselineRangingResult]) -> str:
     return "\n".join(lines)
 
 
-@engine.register(
-    name="fig12",
-    title="Detection and ranging vs BeepBeep and CAT",
-    paper_ref="Fig. 12",
-    paper={"mean_error_m": PAPER_FIG12B},
-    cost="heavy",
-    sweepable=("num_trials", "num_exchanges"),
-)
-def campaign(
-    rng,
-    *,
-    scale: float = 1.0,
-    num_trials: int = 40,
-    num_exchanges: int = 25,
-):
-    """Fig. 12a detector comparison plus the Fig. 12b baseline ranging."""
-    detection = run_detection_comparison(
-        rng, num_trials=engine.scaled(num_trials, scale)
-    )
-    ranging = run_baseline_ranging(
-        rng, num_exchanges=engine.scaled(num_exchanges, scale)
-    )
+def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
+    detection = _rates_from_counts(raw["detection"])
+    ranging = [
+        BaselineRangingResult(
+            algorithm=name,
+            distance_m=float(distance),
+            summary=summarize_errors(errs),
+        )
+        for name, by_distance in raw["ranging"].items()
+        for distance, errs in by_distance
+    ]
     measured = {
         "detection": {
             f"{r.detector}@{r.threshold_db:g}dB": {
@@ -272,4 +363,70 @@ def campaign(
             int(r.distance_m)
         ] = r.summary.mean
     report = format_detection(detection) + "\n" + format_baseline_ranging(ranging)
-    return engine.ExperimentOutput(measured=measured, report=report)
+    return engine.ExperimentOutput(measured=measured, report=report, raw=raw)
+
+
+def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
+    """Sum detection counts and concatenate ranging errors across chunks."""
+    first = raws[0]["detection"]
+    detection = {
+        "num_trials": sum(raw["detection"]["num_trials"] for raw in raws),
+        "thresholds_db": first["thresholds_db"],
+        "ours_fp": sum(raw["detection"]["ours_fp"] for raw in raws),
+        "ours_fn": sum(raw["detection"]["ours_fn"] for raw in raws),
+        "fmcw_fp": {
+            th: sum(raw["detection"]["fmcw_fp"][th] for raw in raws)
+            for th in first["thresholds_db"]
+        },
+        "fmcw_fn": {
+            th: sum(raw["detection"]["fmcw_fn"][th] for raw in raws)
+            for th in first["thresholds_db"]
+        },
+    }
+    ranging = {
+        name: [
+            (distance, [e for raw in raws for e in dict(raw["ranging"][name])[distance]])
+            for distance, _ in raws[0]["ranging"][name]
+        ]
+        for name in raws[0]["ranging"]
+    }
+    return _summarize_raw({"detection": detection, "ranging": ranging})
+
+
+@engine.register(
+    name="fig12",
+    title="Detection and ranging vs BeepBeep and CAT",
+    paper_ref="Fig. 12",
+    paper={"mean_error_m": PAPER_FIG12B},
+    cost="heavy",
+    sweepable=("num_trials", "num_exchanges", "backend"),
+    chunkable=True,
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_trials: int = 40,
+    num_exchanges: int = 25,
+    backend: str = "batch",
+    chunk: Optional[Tuple[int, int]] = None,
+):
+    """Fig. 12a detector comparison plus the Fig. 12b baseline ranging."""
+    detection = _detection_counts(
+        rng,
+        (3.0, 6.0, 10.0, 15.0, 20.0),
+        engine.chunk_share(engine.scaled(num_trials, scale), chunk),
+        20.0,
+        backend,
+    )
+    ranging = _baseline_errors(
+        rng,
+        (10.0, 20.0, 28.0),
+        engine.chunk_share(engine.scaled(num_exchanges, scale), chunk),
+        1.0,
+        backend,
+    )
+    raw = {"detection": detection, "ranging": ranging}
+    if chunk is not None:
+        return engine.ExperimentOutput(measured={}, report="", raw=raw)
+    return _summarize_raw(raw)

@@ -10,7 +10,7 @@ phone pressure sensor, 0-9 m in 1 m steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.devices.sensors import phone_pressure_sensor, smartwatch_depth_gauge
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
 
 #: Paper: median / p95 at the best depth (5 m).
@@ -45,13 +46,16 @@ def run_depth_sweep(
     depths_m: Sequence[float] = (2.0, 5.0, 8.0),
     num_exchanges: int = 30,
     separation_m: float = 18.0,
+    backend: str = "batch",
 ) -> List[DepthRangingResult]:
     """Fig. 13a: ranging error vs depth at 18 m separation."""
+    engine.check_backend(backend)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for depth in depths_m:
-        errors = []
+        sim = BatchOneWay(preamble) if backend == "batch" else None
+        errors: List[float] = []
         for _ in range(num_exchanges):
             # The rope lets the phone sway slightly (paper setup).
             tx = np.array([0.0, 0.0, depth + rng.uniform(-0.15, 0.15)])
@@ -60,8 +64,12 @@ def run_depth_sweep(
             )
             tx[2] = np.clip(tx[2], 0.2, DOCK.water_depth_m - 0.2)
             rx[2] = np.clip(rx[2], 0.2, DOCK.water_depth_m - 0.2)
-            measurement = one_way_range(preamble, tx, rx, config, rng)
-            errors.append(measurement.error_m)
+            if sim is not None:
+                sim.add(tx, rx, config, rng)
+            else:
+                errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        if sim is not None:
+            errors = [m.error_m for m in sim.run()]
         errors = np.asarray(errors)
         results.append(
             DepthRangingResult(
@@ -86,6 +94,27 @@ class DepthSensorResult:
     measured_depths_m: np.ndarray
     mean_abs_error_m: float
     std_abs_error_m: float
+    readings: Optional[List[List[float]]] = None
+
+
+def _sensor_result(
+    name: str, references: np.ndarray, readings: List[List[float]]
+) -> DepthSensorResult:
+    measured = []
+    abs_errors: List[float] = []
+    for ref, values in zip(references, readings):
+        values = np.asarray(values)
+        measured.append(float(np.mean(values)))
+        abs_errors.extend(np.abs(values - ref))
+    abs_arr = np.asarray(abs_errors)
+    return DepthSensorResult(
+        sensor=name,
+        reference_depths_m=references,
+        measured_depths_m=np.asarray(measured),
+        mean_abs_error_m=float(np.mean(abs_arr)),
+        std_abs_error_m=float(np.std(abs_arr)),
+        readings=readings,
+    )
 
 
 def run_depth_sensor_accuracy(
@@ -97,22 +126,11 @@ def run_depth_sensor_accuracy(
     references = np.arange(0.0, max_depth_m + 0.5, 1.0)
     results = []
     for sensor in (smartwatch_depth_gauge(), phone_pressure_sensor()):
-        measured = []
-        abs_errors = []
-        for ref in references:
-            readings = sensor.measure_many(float(ref), readings_per_depth, rng)
-            measured.append(float(np.mean(readings)))
-            abs_errors.extend(np.abs(readings - ref))
-        abs_errors = np.asarray(abs_errors)
-        results.append(
-            DepthSensorResult(
-                sensor=sensor.name,
-                reference_depths_m=references,
-                measured_depths_m=np.asarray(measured),
-                mean_abs_error_m=float(np.mean(abs_errors)),
-                std_abs_error_m=float(np.std(abs_errors)),
-            )
-        )
+        readings = [
+            [float(v) for v in sensor.measure_many(float(ref), readings_per_depth, rng)]
+            for ref in references
+        ]
+        results.append(_sensor_result(sensor.name, references, readings))
     return results
 
 
@@ -142,26 +160,20 @@ def format_depth_sensors(results: List[DepthSensorResult]) -> str:
     return "\n".join(lines)
 
 
-@engine.register(
-    name="fig13",
-    title="Ranging vs device depth, and depth-sensor accuracy",
-    paper_ref="Fig. 13",
-    paper={"best_depth": PAPER_BEST_DEPTH, "sensors": PAPER_DEPTH_SENSORS},
-    cost="heavy",
-    sweepable=("num_exchanges",),
-)
-def campaign(
-    rng,
-    *,
-    scale: float = 1.0,
-    num_exchanges: int = 30,
-    readings_per_depth: int = 30,
-):
-    """Fig. 13a depth sweep plus the Fig. 13b sensor comparison."""
-    sweep = run_depth_sweep(rng, num_exchanges=engine.scaled(num_exchanges, scale))
-    sensors = run_depth_sensor_accuracy(
-        rng, readings_per_depth=engine.scaled(readings_per_depth, scale)
-    )
+def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
+    sweep = [
+        DepthRangingResult(
+            depth_m=float(depth),
+            summary=summarize_errors(np.asarray(errors)),
+            errors_m=np.asarray(errors),
+        )
+        for depth, errors in raw["ranging"]
+    ]
+    references = np.asarray(raw["references"])
+    sensors = [
+        _sensor_result(name, references, readings)
+        for name, readings in raw["sensors"]
+    ]
     measured = {
         "ranging_by_depth": {
             int(r.depth_m): {"median": r.summary.median, "p95": r.summary.p95}
@@ -173,4 +185,66 @@ def campaign(
         },
     }
     report = format_depth_sweep(sweep) + "\n" + format_depth_sensors(sensors)
-    return engine.ExperimentOutput(measured=measured, report=report)
+    return engine.ExperimentOutput(measured=measured, report=report, raw=raw)
+
+
+def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
+    """Concatenate chunked trials per depth / per sensor reference."""
+    merged = {
+        "ranging": [
+            (depth, [e for raw in raws for e in dict(raw["ranging"])[depth]])
+            for depth, _ in raws[0]["ranging"]
+        ],
+        "references": raws[0]["references"],
+        "sensors": [
+            (
+                name,
+                [
+                    [v for raw in raws for v in dict(raw["sensors"])[name][i]]
+                    for i in range(len(raws[0]["references"]))
+                ],
+            )
+            for name, _ in raws[0]["sensors"]
+        ],
+    }
+    return _summarize_raw(merged)
+
+
+@engine.register(
+    name="fig13",
+    title="Ranging vs device depth, and depth-sensor accuracy",
+    paper_ref="Fig. 13",
+    paper={"best_depth": PAPER_BEST_DEPTH, "sensors": PAPER_DEPTH_SENSORS},
+    cost="heavy",
+    sweepable=("num_exchanges", "backend"),
+    chunkable=True,
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_exchanges: int = 30,
+    readings_per_depth: int = 30,
+    backend: str = "batch",
+    chunk: Optional[Tuple[int, int]] = None,
+):
+    """Fig. 13a depth sweep plus the Fig. 13b sensor comparison."""
+    sweep = run_depth_sweep(
+        rng,
+        num_exchanges=engine.chunk_share(engine.scaled(num_exchanges, scale), chunk),
+        backend=backend,
+    )
+    sensors = run_depth_sensor_accuracy(
+        rng,
+        readings_per_depth=engine.chunk_share(
+            engine.scaled(readings_per_depth, scale), chunk
+        ),
+    )
+    raw = {
+        "ranging": [(r.depth_m, [float(e) for e in r.errors_m]) for r in sweep],
+        "references": [float(v) for v in sensors[0].reference_depths_m],
+        "sensors": [(r.sensor, r.readings) for r in sensors],
+    }
+    if chunk is not None:
+        return engine.ExperimentOutput(measured={}, report="", raw=raw)
+    return _summarize_raw(raw)

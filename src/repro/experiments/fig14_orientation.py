@@ -10,7 +10,7 @@ Pixel+OnePlus, Samsung+OnePlus).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.devices.models import GOOGLE_PIXEL, ONEPLUS, SAMSUNG_S9, DeviceModel
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
 
 #: Paper: medians range from 0.54 to 1.25 m across orientations.
@@ -50,10 +51,36 @@ def run_orientation_sweep(
     num_exchanges: int = 25,
     distance_m: float = 20.0,
     depth_m: float = 2.5,
+    backend: str = "batch",
 ) -> List[OrientationResult]:
     """Fig. 14a: error vs sender orientation at 20 m."""
-    preamble = make_preamble()
     results = []
+    for label, errors in _orientation_errors(
+        rng, cases, num_exchanges, distance_m, depth_m, backend
+    ):
+        case = next(c for c in cases if c[0] == label)
+        results.append(
+            OrientationResult(
+                label=label,
+                azimuth_deg=case[1],
+                polar_deg=case[2],
+                summary=summarize_errors(errors),
+            )
+        )
+    return results
+
+
+def _orientation_errors(
+    rng: np.random.Generator,
+    cases: Sequence[Tuple[str, float, float]],
+    num_exchanges: int,
+    distance_m: float,
+    depth_m: float,
+    backend: str,
+) -> List[Tuple[str, List[float]]]:
+    engine.check_backend(backend)
+    preamble = make_preamble()
+    out = []
     for label, az_deg, pol_deg in cases:
         # Upward-facing devices sit nearer the surface (paper: worst case
         # partly because the speaker points at the surface).
@@ -63,20 +90,19 @@ def run_orientation_sweep(
             tx_azimuth_rad=np.deg2rad(az_deg),
             tx_polar_rad=np.deg2rad(pol_deg),
         )
-        errors = []
+        sim = BatchOneWay(preamble) if backend == "batch" else None
+        errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, case_depth + rng.uniform(-0.1, 0.1)])
             rx = np.array([distance_m, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
-            errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
-        results.append(
-            OrientationResult(
-                label=label,
-                azimuth_deg=az_deg,
-                polar_deg=pol_deg,
-                summary=summarize_errors(errors),
-            )
-        )
-    return results
+            if sim is not None:
+                sim.add(tx, rx, config, rng)
+            else:
+                errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        if sim is not None:
+            errors = [m.error_m for m in sim.run()]
+        out.append((label, [float(e) for e in errors]))
+    return out
 
 
 @dataclass(frozen=True)
@@ -99,21 +125,44 @@ def run_model_pairs(
     num_exchanges: int = 25,
     distance_m: float = 20.0,
     depth_m: float = 2.5,
+    backend: str = "batch",
 ) -> List[ModelPairResult]:
     """Fig. 14b: error across smartphone model pairs."""
+    return [
+        ModelPairResult(pair=name, summary=summarize_errors(errors))
+        for name, errors in _model_pair_errors(
+            rng, num_exchanges, distance_m, depth_m, backend
+        )
+    ]
+
+
+def _model_pair_errors(
+    rng: np.random.Generator,
+    num_exchanges: int,
+    distance_m: float,
+    depth_m: float,
+    backend: str,
+) -> List[Tuple[str, List[float]]]:
+    engine.check_backend(backend)
     preamble = make_preamble()
-    results = []
+    out = []
     for name, tx_model, rx_model in MODEL_PAIRS:
         config = ExchangeConfig(
             environment=DOCK, tx_model=tx_model, rx_model=rx_model
         )
-        errors = []
+        sim = BatchOneWay(preamble) if backend == "batch" else None
+        errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
             rx = np.array([distance_m, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
-            errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
-        results.append(ModelPairResult(pair=name, summary=summarize_errors(errors)))
-    return results
+            if sim is not None:
+                sim.add(tx, rx, config, rng)
+            else:
+                errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
+        if sim is not None:
+            errors = [m.error_m for m in sim.run()]
+        out.append((name, [float(e) for e in errors]))
+    return out
 
 
 def format_orientation(results: List[OrientationResult]) -> str:
@@ -131,22 +180,67 @@ def format_model_pairs(results: List[ModelPairResult]) -> str:
     return "\n".join(lines)
 
 
+def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
+    orientation = []
+    for label, errors in raw["orientation"]:
+        case = next(c for c in ORIENTATION_CASES if c[0] == label)
+        orientation.append(
+            OrientationResult(
+                label=label,
+                azimuth_deg=case[1],
+                polar_deg=case[2],
+                summary=summarize_errors(errors),
+            )
+        )
+    pairs = [
+        ModelPairResult(pair=name, summary=summarize_errors(errors))
+        for name, errors in raw["pairs"]
+    ]
+    measured = {
+        "orientation_median_m": {r.label: r.summary.median for r in orientation},
+        "model_pair_median_m": {r.pair: r.summary.median for r in pairs},
+    }
+    report = format_orientation(orientation) + "\n" + format_model_pairs(pairs)
+    return engine.ExperimentOutput(measured=measured, report=report, raw=raw)
+
+
+def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
+    """Concatenate chunked trials per orientation case / model pair."""
+    merged = {
+        key: [
+            (label, [e for raw in raws for e in dict(raw[key])[label]])
+            for label, _ in raws[0][key]
+        ]
+        for key in ("orientation", "pairs")
+    }
+    return _summarize_raw(merged)
+
+
 @engine.register(
     name="fig14",
     title="Ranging vs phone orientation and model pairs",
     paper_ref="Fig. 14",
     paper={"orientation_median_range_m": PAPER_ORIENTATION_MEDIAN_RANGE},
     cost="heavy",
-    sweepable=("num_exchanges",),
+    sweepable=("num_exchanges", "backend"),
+    chunkable=True,
 )
-def campaign(rng, *, scale: float = 1.0, num_exchanges: int = 25):
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    num_exchanges: int = 25,
+    backend: str = "batch",
+    chunk: Optional[Tuple[int, int]] = None,
+):
     """Fig. 14a orientation sweep plus the Fig. 14b model-pair study."""
-    n = engine.scaled(num_exchanges, scale)
-    orientation = run_orientation_sweep(rng, num_exchanges=n)
-    pairs = run_model_pairs(rng, num_exchanges=n)
-    measured = {
-        "orientation_median_m": {r.label: r.summary.median for r in orientation},
-        "model_pair_median_m": {r.pair: r.summary.median for r in pairs},
+    n = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
+    raw = {
+        "orientation": _orientation_errors(
+            rng, ORIENTATION_CASES, n, 20.0, 2.5, backend
+        ),
+        "pairs": _model_pair_errors(rng, n, 20.0, 2.5, backend),
     }
-    report = format_orientation(orientation) + "\n" + format_model_pairs(pairs)
-    return engine.ExperimentOutput(measured=measured, report=report)
+    if chunk is not None:
+        return engine.ExperimentOutput(measured={}, report="", raw=raw)
+    return _summarize_raw(raw)

@@ -9,7 +9,7 @@ over both trajectories.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from repro.channel.environment import DOCK
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchOneWay
 from repro.simulate.mobility import LinearBackForthTrajectory
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range
 
@@ -43,8 +44,15 @@ def run_motion_tracking(
     base_distance_m: float = 10.0,
     amplitude_m: float = 5.0,
     depth_m: float = 1.5,
+    backend: str = "batch",
+    time_slice: Optional[Tuple[int, int]] = None,
 ) -> List[MotionRangingResult]:
-    """Range once per second while the device sweeps back and forth."""
+    """Range once per second while the device sweeps back and forth.
+
+    ``time_slice=(offset, count)`` restricts each trajectory to a
+    contiguous run of time steps (used by campaign trial chunking).
+    """
+    engine.check_backend(backend)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     static = np.array([0.0, 0.0, depth_m])
@@ -57,14 +65,21 @@ def run_motion_tracking(
             speed_mps=speed,
         )
         times = np.arange(0.0, duration_s, interval_s)
-        true_d, est_d = [], []
+        if time_slice is not None:
+            offset, count = time_slice
+            times = times[offset : offset + count]
+        sim = BatchOneWay(preamble) if backend == "batch" else None
+        measurements = []
         for t in times:
             pos = trajectory.position(float(t))
-            measurement = one_way_range(preamble, static, pos, config, rng)
-            true_d.append(measurement.true_distance_m)
-            est_d.append(measurement.estimated_distance_m)
-        true_arr = np.asarray(true_d)
-        est_arr = np.asarray(est_d)
+            if sim is not None:
+                sim.add(static, pos, config, rng)
+            else:
+                measurements.append(one_way_range(preamble, static, pos, config, rng))
+        if sim is not None:
+            measurements = sim.run()
+        true_arr = np.asarray([m.true_distance_m for m in measurements])
+        est_arr = np.asarray([m.estimated_distance_m for m in measurements])
         results.append(
             MotionRangingResult(
                 speed_mps=float(speed),
@@ -94,19 +109,17 @@ def format_motion(results: List[MotionRangingResult]) -> str:
     return "\n".join(lines)
 
 
-@engine.register(
-    name="fig15",
-    title="1D ranging of a continuously moving device",
-    paper_ref="Fig. 15",
-    paper={"combined": PAPER_MOTION},
-    cost="heavy",
-    sweepable=("duration_s",),
-)
-def campaign(rng, *, scale: float = 1.0, duration_s: float = 60.0):
-    """Both trajectory speeds, once per second for the scaled duration."""
-    results = run_motion_tracking(
-        rng, duration_s=max(4.0, duration_s * scale)
-    )
+def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
+    results = [
+        MotionRangingResult(
+            speed_mps=float(speed),
+            times_s=np.asarray(times),
+            true_distances_m=np.asarray(true_d),
+            estimated_distances_m=np.asarray(est_d),
+            summary=summarize_errors(np.asarray(est_d) - np.asarray(true_d)),
+        )
+        for speed, times, true_d, est_d in raw["tracks"]
+    ]
     combined = summarize_errors(
         np.concatenate(
             [r.estimated_distances_m - r.true_distances_m for r in results]
@@ -119,4 +132,62 @@ def campaign(rng, *, scale: float = 1.0, duration_s: float = 60.0):
         },
         "combined": {"median": combined.median, "p95": combined.p95},
     }
-    return engine.ExperimentOutput(measured=measured, report=format_motion(results))
+    return engine.ExperimentOutput(
+        measured=measured, report=format_motion(results), raw=raw
+    )
+
+
+def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
+    """Stitch contiguous time slices back into whole trajectories."""
+    merged = {"tracks": []}
+    for idx, (speed, _t, _d, _e) in enumerate(raws[0]["tracks"]):
+        times = [v for raw in raws for v in raw["tracks"][idx][1]]
+        true_d = [v for raw in raws for v in raw["tracks"][idx][2]]
+        est_d = [v for raw in raws for v in raw["tracks"][idx][3]]
+        merged["tracks"].append((speed, times, true_d, est_d))
+    return _summarize_raw(merged)
+
+
+@engine.register(
+    name="fig15",
+    title="1D ranging of a continuously moving device",
+    paper_ref="Fig. 15",
+    paper={"combined": PAPER_MOTION},
+    cost="heavy",
+    sweepable=("duration_s", "backend"),
+    chunkable=True,
+)
+def campaign(
+    rng,
+    *,
+    scale: float = 1.0,
+    duration_s: float = 60.0,
+    backend: str = "batch",
+    chunk: Optional[Tuple[int, int]] = None,
+):
+    """Both trajectory speeds, once per second for the scaled duration."""
+    duration = max(4.0, duration_s * scale)
+    time_slice = None
+    if chunk is not None:
+        steps = np.arange(0.0, duration, 1.0).size
+        time_slice = (
+            engine.chunk_offset(steps, chunk),
+            engine.chunk_share(steps, chunk),
+        )
+    results = run_motion_tracking(
+        rng, duration_s=duration, backend=backend, time_slice=time_slice
+    )
+    raw = {
+        "tracks": [
+            (
+                r.speed_mps,
+                [float(v) for v in r.times_s],
+                [float(v) for v in r.true_distances_m],
+                [float(v) for v in r.estimated_distances_m],
+            )
+            for r in results
+        ]
+    }
+    if chunk is not None:
+        return engine.ExperimentOutput(measured={}, report="", raw=raw)
+    return _summarize_raw(raw)

@@ -15,9 +15,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.channel.environment import BOATHOUSE
-from repro.channel.multipath import image_method_taps
+from repro.channel.multipath import image_method_tap_arrays, image_method_taps
 from repro.channel.noise import make_noise
-from repro.channel.render import apply_channel
+from repro.channel.render import CachedWaveform, apply_channel, apply_channel_batch
 from repro.experiments import engine
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
 
@@ -43,33 +43,77 @@ def run_snr_measurement(
     distances_m: Sequence[float] = (10.0, 20.0, 28.0),
     num_symbols: int = 8,
     depth_m: float = 1.0,
+    backend: str = "batch",
 ) -> List[SnrProfile]:
-    """Estimate per-subcarrier SNR from repeated OFDM symbols."""
+    """Estimate per-subcarrier SNR from repeated OFDM symbols.
+
+    ``backend="batch"`` renders every distance's channel in one grouped
+    convolution pass (identical samples; the noise draws keep the
+    legacy per-distance order).
+    """
+    engine.check_backend(backend)
     ofdm = OfdmConfig()
     bins = band_bins(ofdm)
     base = ofdm_symbol_from_zc(ofdm, add_cp=False)
     base_bins_fft = np.fft.fft(base)[bins]
     fs = ofdm.sample_rate
-    profiles = []
-    for distance in distances_m:
-        tx = np.array([0.0, 0.0, depth_m])
-        rx = np.array([float(distance), 0.0, depth_m])
-        sound_speed = BOATHOUSE.sound_speed(depth_m)
-        taps = image_method_taps(
-            tx,
-            rx,
-            BOATHOUSE.water_depth_m,
-            sound_speed,
-            max_order=BOATHOUSE.max_image_order,
-            surface_coeff=BOATHOUSE.surface_coeff,
-            bottom_coeff=BOATHOUSE.bottom_coeff,
+    sound_speed = BOATHOUSE.sound_speed(depth_m)
+    # Continuous transmission of identical symbols; segment at symbol
+    # boundaries after the channel settles.
+    wave = np.tile(base, num_symbols + 2)
+
+    received_by_distance: List[np.ndarray] = []
+    first_arrivals: List[int] = []
+    if backend == "batch":
+        specs = []
+        for distance in distances_m:
+            tx = np.array([0.0, 0.0, depth_m])
+            rx = np.array([float(distance), 0.0, depth_m])
+            delays, amps, _surf, _bot = image_method_tap_arrays(
+                tx,
+                rx,
+                BOATHOUSE.water_depth_m,
+                sound_speed,
+                max_order=BOATHOUSE.max_image_order,
+                surface_coeff=BOATHOUSE.surface_coeff,
+                bottom_coeff=BOATHOUSE.bottom_coeff,
+            )
+            length = wave.size + int(np.ceil(float(delays.max()) * fs)) + 2
+            specs.append((delays, amps, length))
+            first_arrivals.append(int(delays[0] * fs))
+        bodies = apply_channel_batch(
+            CachedWaveform(wave),
+            [(delays * fs, amps) for delays, amps, _ in specs],
+            [length for _, _, length in specs],
+            [length for _, _, length in specs],
         )
-        # Continuous transmission of identical symbols; segment at symbol
-        # boundaries after the channel settles.
-        wave = np.tile(base, num_symbols + 2)
-        received = apply_channel(wave, taps, fs)
-        received = received + make_noise(received.size, BOATHOUSE.noise, rng, fs)
-        first_arrival = int(taps[0].delay_s * fs)
+        for body in bodies:
+            received_by_distance.append(
+                body + make_noise(body.size, BOATHOUSE.noise, rng, fs)
+            )
+    else:
+        for distance in distances_m:
+            tx = np.array([0.0, 0.0, depth_m])
+            rx = np.array([float(distance), 0.0, depth_m])
+            taps = image_method_taps(
+                tx,
+                rx,
+                BOATHOUSE.water_depth_m,
+                sound_speed,
+                max_order=BOATHOUSE.max_image_order,
+                surface_coeff=BOATHOUSE.surface_coeff,
+                bottom_coeff=BOATHOUSE.bottom_coeff,
+            )
+            received = apply_channel(wave, taps, fs)
+            received_by_distance.append(
+                received + make_noise(received.size, BOATHOUSE.noise, rng, fs)
+            )
+            first_arrivals.append(int(taps[0].delay_s * fs))
+
+    profiles = []
+    for distance, received, first_arrival in zip(
+        distances_m, received_by_distance, first_arrivals
+    ):
         estimates = []
         for k in range(1, num_symbols + 1):
             start = first_arrival + k * ofdm.n_fft
@@ -109,12 +153,12 @@ def format_snr(profiles: List[SnrProfile]) -> str:
     paper_ref="Fig. 22",
     paper={"snr_range_db": PAPER_SNR_RANGE_DB},
     cost="cheap",
-    sweepable=("num_symbols",),
+    sweepable=("num_symbols", "backend"),
 )
-def campaign(rng, *, scale: float = 1.0, num_symbols: int = 8):
+def campaign(rng, *, scale: float = 1.0, num_symbols: int = 8, backend: str = "batch"):
     """SNR profiles at 10/20/28 m (scale bounds the symbol count)."""
     profiles = run_snr_measurement(
-        rng, num_symbols=engine.scaled(num_symbols, scale, minimum=2)
+        rng, num_symbols=engine.scaled(num_symbols, scale, minimum=2), backend=backend
     )
     measured = {
         "median_snr_db": {int(p.distance_m): p.median_snr_db for p in profiles},

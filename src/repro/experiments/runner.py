@@ -113,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario sweep applied to experiments that declare KEY sweepable",
     )
     parser.add_argument(
+        "--trial-chunks",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "split chunkable experiments into N trial chunks (each with its "
+            "own seeded substream) so --workers parallelises trials; the "
+            "artifact depends only on the seed and N, not the worker count"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the experiment registry and exit"
     )
     return parser
@@ -162,6 +173,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         scale=args.scale,
         sweep=sweep,
+        trial_chunks=args.trial_chunks,
         progress=show,
     )
 

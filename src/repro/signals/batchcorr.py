@@ -1,0 +1,397 @@
+"""Batch-first correlation/peak kernels, bit-identical to the scalar path.
+
+:mod:`repro.signals.correlation` and :mod:`repro.signals.peaks` stay the
+clarity-first scalar reference; this module is the engine the batch
+waveform backend runs on.  Every kernel here is constructed so that its
+outputs are **bit-identical** to the scalar reference on the same
+inputs — that is the contract `tests/test_batchcorr.py` pins with
+hypothesis and `tests/test_batch_parity.py` relies on end to end:
+
+* FFT work uses the *same* transform lengths ``scipy.signal.fftconvolve``
+  would pick (``next_fast_len`` of the per-row full convolution size);
+  pocketfft applies the identical 1-D transform to every row of a 2-D
+  batch, so stacking rows with equal transform length changes nothing.
+* Template and window spectra are cached per transform length — the
+  scalar path re-pays both FFTs on every call.
+* Peak finding is pure comparisons, vectorised without arithmetic.
+* Segment autocorrelation keeps the scalar reduction ops (`np.dot`,
+  element-wise division) per candidate; only the window gather and the
+  sign handling are restructured, using identities that are exact in
+  IEEE-754 (``|-x| == |x|``, ``(-x)·y == -(x·y)``, ``1.0*x == x``).
+
+Grouping helper
+---------------
+Streams in one batch usually differ in length by a few samples, but
+``next_fast_len`` maps nearby sizes onto the same fast transform
+length, so most rows share a group and one stacked FFT covers them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.fft import next_fast_len, rfft, irfft
+
+
+def grouped_by_fast_len(full_sizes: Sequence[int]) -> Dict[int, List[int]]:
+    """Group row indices by the fast FFT length of their conv size."""
+    groups: Dict[int, List[int]] = {}
+    for idx, full in enumerate(full_sizes):
+        nf = next_fast_len(int(full), True)
+        groups.setdefault(nf, []).append(idx)
+    return groups
+
+
+class CachedTemplate:
+    """A correlation template with per-transform-length spectrum caches.
+
+    Caches ``rfft(template[::-1], nf)`` (for cross-correlation) and
+    ``rfft(ones(len(template)), nf)`` (for the local-energy window of
+    the normalised cross-correlation) so a sweep of hundreds of streams
+    pays each template transform once per distinct length instead of
+    once per call.
+    """
+
+    def __init__(self, template: np.ndarray):
+        template = np.asarray(template, dtype=float)
+        if template.size == 0:
+            raise ValueError("template must be non-empty")
+        self.template = template
+        self.size = template.size
+        self.norm = float(np.linalg.norm(template))
+        self._reversed = template[::-1].copy()
+        self._rev_fft: Dict[int, np.ndarray] = {}
+        self._window_fft: Dict[int, np.ndarray] = {}
+
+    def reversed_fft(self, nf: int) -> np.ndarray:
+        spec = self._rev_fft.get(nf)
+        if spec is None:
+            spec = rfft(self._reversed, nf)
+            self._rev_fft[nf] = spec
+        return spec
+
+    def window_fft(self, nf: int) -> np.ndarray:
+        spec = self._window_fft.get(nf)
+        if spec is None:
+            spec = rfft(np.ones(self.size), nf)
+            self._window_fft[nf] = spec
+        return spec
+
+
+def _stack_padded(streams: Sequence[np.ndarray], rows: Sequence[int], nf: int) -> np.ndarray:
+    out = np.zeros((len(rows), nf))
+    for k, idx in enumerate(rows):
+        s = streams[idx]
+        out[k, : s.size] = s
+    return out
+
+
+def _grouped_rows(
+    streams: Sequence[np.ndarray], rows: Sequence[int], template_size: int
+) -> Dict[int, List[int]]:
+    groups: Dict[int, List[int]] = {}
+    for idx in rows:
+        nf = next_fast_len(streams[idx].size + template_size - 1, True)
+        groups.setdefault(nf, []).append(idx)
+    return groups
+
+
+def cross_correlate_batch(
+    streams: Sequence[np.ndarray], template: CachedTemplate | np.ndarray
+) -> List[np.ndarray]:
+    """Batched :func:`repro.signals.correlation.cross_correlate`.
+
+    Returns one correlation array per stream, bit-identical to the
+    scalar function.  Rows are grouped by transform length and the
+    template spectrum is reused across the whole batch.
+    """
+    tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
+    streams = [np.asarray(s, dtype=float) for s in streams]
+    for s in streams:
+        if s.size == 0:
+            raise ValueError("stream and template must be non-empty")
+    out: List[Optional[np.ndarray]] = [None] * len(streams)
+    start = tmpl.size - 1
+    fft_rows = []
+    for idx, s in enumerate(streams):
+        if tmpl.size == 1 or s.size == 1:
+            # fftconvolve drops length-1 axes and multiplies directly.
+            corr = s * tmpl._reversed
+            out[idx] = corr[start : start + s.size].copy()
+        else:
+            fft_rows.append(idx)
+    for nf, rows in _grouped_rows(streams, fft_rows, tmpl.size).items():
+        stacked = _stack_padded(streams, rows, nf)
+        corr = irfft(rfft(stacked, nf, axis=-1) * tmpl.reversed_fft(nf), nf, axis=-1)
+        for k, idx in enumerate(rows):
+            n = streams[idx].size
+            full = n + tmpl.size - 1
+            out[idx] = corr[k, :full][start : start + n].copy()
+    return out  # type: ignore[return-value]
+
+
+def normalized_cross_correlation_batch(
+    streams: Sequence[np.ndarray], template: CachedTemplate | np.ndarray
+) -> List[np.ndarray]:
+    """Batched :func:`repro.signals.correlation.normalized_cross_correlation`."""
+    tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
+    streams = [np.asarray(s, dtype=float) for s in streams]
+    for s in streams:
+        if s.size == 0:
+            raise ValueError("stream and template must be non-empty")
+    if tmpl.norm == 0:
+        raise ValueError("template has zero energy")
+    out: List[Optional[np.ndarray]] = [None] * len(streams)
+    start = tmpl.size - 1
+
+    def _finish(idx: int, c: np.ndarray, e: np.ndarray) -> None:
+        denom = np.sqrt(np.maximum(e, 0.0))
+        np.maximum(denom, 1e-12, out=denom)
+        denom *= tmpl.norm
+        np.divide(c, denom, out=denom)
+        out[idx] = np.clip(denom, -1.0, 1.0, out=denom)
+
+    fft_rows = []
+    for idx, s in enumerate(streams):
+        if tmpl.size == 1 or s.size == 1:
+            # fftconvolve drops length-1 axes and multiplies directly.
+            corr = (s * tmpl._reversed)[start : start + s.size]
+            energy = ((s * s) * np.ones(tmpl.size))[start : start + s.size]
+            _finish(idx, corr, energy)
+        else:
+            fft_rows.append(idx)
+    for nf, rows in _grouped_rows(streams, fft_rows, tmpl.size).items():
+        stacked = _stack_padded(streams, rows, nf)
+        spec = rfft(stacked, nf, axis=-1)
+        spec *= tmpl.reversed_fft(nf)
+        corr = irfft(spec, nf, axis=-1)
+        np.square(stacked, out=stacked)
+        energy = irfft(rfft(stacked, nf, axis=-1) * tmpl.window_fft(nf), nf, axis=-1)
+        for k, idx in enumerate(rows):
+            n = streams[idx].size
+            _finish(idx, corr[k, start : start + n], energy[k, start : start + n])
+    return out  # type: ignore[return-value]
+
+
+def peak_mask(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``IsPeak`` predicate over a 1-D array.
+
+    Pure comparisons — bit-exact by construction against
+    :func:`repro.signals.peaks.is_peak` applied per index.
+    """
+    values = np.asarray(values)
+    n = values.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    left_ok = np.empty(n, dtype=bool)
+    right_ok = np.empty(n, dtype=bool)
+    left_ok[0] = True
+    np.greater_equal(values[1:], values[:-1], out=left_ok[1:])
+    right_ok[n - 1] = True
+    np.greater_equal(values[: n - 1], values[1:], out=right_ok[: n - 1])
+    strict = np.zeros(n, dtype=bool)
+    np.greater(values[1:], values[:-1], out=strict[1:])
+    strict[: n - 1] |= values[: n - 1] > values[1:]
+    return left_ok & right_ok & strict
+
+
+def local_peak_indices_fast(values: np.ndarray, min_height: float = 0.0) -> np.ndarray:
+    """Vectorised :func:`repro.signals.peaks.local_peak_indices`."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.array([], dtype=int)
+    return np.nonzero((values > min_height) & peak_mask(values))[0]
+
+
+def local_peak_indices_batch(
+    values: np.ndarray, min_height: float = 0.0
+) -> List[np.ndarray]:
+    """Row-wise peak indices of a ``(batch, n)`` array."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("expected a 2-D (batch, n) array")
+    return [local_peak_indices_fast(row, min_height) for row in values]
+
+
+def _segment_matrix(
+    window: np.ndarray, num_segments: int, symbol_stride: int, symbol_len: int
+) -> np.ndarray:
+    """Contiguous ``(num_segments, symbol_len)`` view of one candidate window."""
+    segs = np.empty((num_segments, symbol_len))
+    for i in range(num_segments):
+        segs[i] = window[i * symbol_stride : i * symbol_stride + symbol_len]
+    return segs
+
+
+def segment_autocorrelation_fast(
+    window: np.ndarray, pn_signs, symbol_stride: int, symbol_len: int
+) -> float:
+    """Bit-exact, lower-overhead :func:`segment_autocorrelation`.
+
+    Exploits two IEEE-754 identities to skip per-segment sign
+    multiplies: ``norm(s*x) == norm(x)`` and
+    ``dot(sa*a, sb*b) == (sa*sb) * dot(a, b)`` for ``s in {-1, +1}``
+    (sign flips are exact, and float addition is sign-symmetric).  The
+    remaining reductions are the very same ``np.dot`` / element-wise
+    division calls the scalar reference issues, in the same order.
+    """
+    window = np.asarray(window, dtype=float)
+    signs = list(pn_signs)
+    num = len(signs)
+    needed = symbol_stride * num
+    if window.size < needed:
+        raise ValueError(
+            f"window too short for autocorrelation: {window.size} < {needed}"
+        )
+    dot = np.dot
+    segs = _segment_matrix(window, num, symbol_stride, symbol_len)
+    # math.sqrt and np.sqrt are both correctly-rounded IEEE sqrt, so the
+    # norms match np.linalg.norm bit for bit.
+    norms = [math.sqrt(dot(seg, seg)) for seg in segs]
+    if min(norms) <= 1e-12:
+        # Match the scalar early-out: a degenerate segment scores 0.0.
+        return 0.0
+    unit = segs / np.array(norms)[:, None]
+    total = 0.0
+    count = 0
+    for a in range(num):
+        for b in range(a + 1, num):
+            total += signs[a] * signs[b] * float(dot(unit[a], unit[b]))
+            count += 1
+    return total / count
+
+
+def segment_autocorrelation_many(
+    windows: np.ndarray, pn_signs, symbol_stride: int, symbol_len: int
+) -> np.ndarray:
+    """Scores for a ``(batch, window_len)`` stack of candidate windows."""
+    windows = np.asarray(windows, dtype=float)
+    if windows.ndim != 2:
+        raise ValueError("expected a 2-D (batch, window) array")
+    return np.array(
+        [
+            segment_autocorrelation_fast(w, pn_signs, symbol_stride, symbol_len)
+            for w in windows
+        ]
+    )
+
+
+_GEMM_PROBE: Dict[Tuple[int, int], bool] = {}
+
+
+def _gemm_matches_dot(num_segments: int, symbol_len: int) -> bool:
+    """True when batched ``matmul`` reproduces per-pair ``np.dot`` bitwise.
+
+    BLAS ``dgemm`` usually accumulates exactly like ``ddot`` for these
+    skinny ``(S, L) @ (L, S)`` products, but that is an implementation
+    detail of the BLAS build — so it is *probed once per segment shape*
+    on this interpreter, and the scorer falls back to the per-pair
+    scalar ops when the probe fails.  Either path is therefore
+    bit-identical to the scalar reference on every platform.
+    """
+    key = (num_segments, symbol_len)
+    cached = _GEMM_PROBE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0xBA7C0)
+    W = rng.standard_normal((3, num_segments, symbol_len))
+    G = W @ W.transpose(0, 2, 1)
+    ok = True
+    for k in range(W.shape[0]):
+        for a in range(num_segments):
+            for b in range(num_segments):
+                if G[k, a, b] != np.dot(W[k, a], W[k, b]):
+                    ok = False
+    if ok:
+        idx = np.arange(num_segments)
+        norms = np.sqrt(G[:, idx, idx])
+        U = W / norms[:, :, None]
+        G2 = U @ U.transpose(0, 2, 1)
+        for k in range(W.shape[0]):
+            for a in range(num_segments):
+                for b in range(num_segments):
+                    if G2[k, a, b] != np.dot(U[k, a], U[k, b]):
+                        ok = False
+    _GEMM_PROBE[key] = ok
+    return ok
+
+
+def segment_autocorrelation_scores(
+    stream: np.ndarray,
+    starts: Sequence[int],
+    pn_signs,
+    symbol_stride: int,
+    symbol_len: int,
+) -> np.ndarray:
+    """Gate scores for many candidate starts of one stream, batched.
+
+    Every ``starts[i]`` must satisfy
+    ``0 <= start`` and ``start + stride * len(signs) <= stream.size``.
+    Bit-identical to :func:`segment_autocorrelation` per candidate.
+    """
+    stream = np.asarray(stream, dtype=float)
+    signs = list(pn_signs)
+    num_segments = len(signs)
+    K = len(starts)
+    if K == 0:
+        return np.zeros(0)
+    if not _gemm_matches_dot(num_segments, symbol_len):
+        needed = symbol_stride * num_segments
+        return np.array(
+            [
+                segment_autocorrelation_fast(
+                    stream[int(s) : int(s) + needed], signs, symbol_stride, symbol_len
+                )
+                for s in starts
+            ]
+        )
+    W = np.empty((K, num_segments, symbol_len))
+    for k, start in enumerate(starts):
+        start = int(start)
+        for i in range(num_segments):
+            W[k, i] = stream[start + i * symbol_stride : start + i * symbol_stride + symbol_len]
+    G = W @ W.transpose(0, 2, 1)
+    idx = np.arange(num_segments)
+    norms = np.sqrt(G[:, idx, idx])
+    degenerate = (norms <= 1e-12).any(axis=1)
+    safe = np.where(norms > 1e-12, norms, 1.0)
+    U = W / safe[:, :, None]
+    G2 = U @ U.transpose(0, 2, 1)
+    total = np.zeros(K)
+    count = 0
+    for a in range(num_segments):
+        for b in range(a + 1, num_segments):
+            pair = G2[:, a, b]
+            total = total + (pair if signs[a] * signs[b] == 1 else -pair)
+            count += 1
+    scores = total / count
+    scores[degenerate] = 0.0
+    return scores
+
+
+def sliding_autocorrelation_batch(
+    stream: np.ndarray,
+    candidates,
+    pn_signs,
+    symbol_stride: int,
+    symbol_len: int,
+) -> np.ndarray:
+    """Batched :func:`repro.signals.correlation.sliding_autocorrelation`."""
+    stream = np.asarray(stream, dtype=float)
+    signs = list(pn_signs)
+    needed = symbol_stride * len(signs)
+    scores = np.zeros(len(candidates))
+    valid = [
+        (i, int(start))
+        for i, start in enumerate(candidates)
+        if 0 <= int(start) and int(start) + needed <= stream.size
+    ]
+    if valid:
+        batch = segment_autocorrelation_scores(
+            stream, [s for _, s in valid], signs, symbol_stride, symbol_len
+        )
+        for (i, _), score in zip(valid, batch):
+            scores[i] = score
+    return scores

@@ -23,8 +23,12 @@ def cross_correlate(stream: np.ndarray, template: np.ndarray) -> np.ndarray:
     """Raw linear cross-correlation of ``stream`` with ``template``.
 
     Output index ``i`` corresponds to the template starting at stream
-    sample ``i`` (mode="valid"-style alignment but full length, i.e. the
-    output has ``len(stream)`` entries with zero padding at the tail).
+    sample ``i`` (mode="valid"-style alignment but full length: the
+    output has ``len(stream)`` entries, where the final
+    ``len(template) - 1`` entries correlate against a template that
+    overhangs the stream end — the overhanging template samples see
+    implicit zeros, so those tail entries taper rather than being
+    zero).
     """
     stream = np.asarray(stream, dtype=float)
     template = np.asarray(template, dtype=float)
@@ -32,12 +36,11 @@ def cross_correlate(stream: np.ndarray, template: np.ndarray) -> np.ndarray:
         raise ValueError("stream and template must be non-empty")
     corr = sp_signal.fftconvolve(stream, template[::-1], mode="full")
     # fftconvolve's full output index (len(template)-1) aligns the template
-    # start with stream sample 0.
+    # start with stream sample 0.  The full output has
+    # ``len(stream) + len(template) - 1`` entries, so this slice is
+    # always complete — no tail padding is ever needed.
     start = template.size - 1
-    out = corr[start : start + stream.size]
-    if out.size < stream.size:
-        out = np.pad(out, (0, stream.size - out.size))
-    return out
+    return corr[start : start + stream.size]
 
 
 def normalized_cross_correlation(stream: np.ndarray, template: np.ndarray) -> np.ndarray:
@@ -54,10 +57,10 @@ def normalized_cross_correlation(stream: np.ndarray, template: np.ndarray) -> np
     if template_norm == 0:
         raise ValueError("template has zero energy")
     window = np.ones(template.size)
+    # Same alignment as cross_correlate; the full-mode output is always
+    # long enough for a complete slice.
     local_energy = sp_signal.fftconvolve(stream**2, window, mode="full")
     local_energy = local_energy[template.size - 1 : template.size - 1 + stream.size]
-    if local_energy.size < stream.size:
-        local_energy = np.pad(local_energy, (0, stream.size - local_energy.size))
     local_norm = np.sqrt(np.maximum(local_energy, 0.0))
     denom = template_norm * np.maximum(local_norm, 1e-12)
     return np.clip(corr / denom, -1.0, 1.0)

@@ -36,13 +36,36 @@ def local_peak_indices(values: np.ndarray, min_height: float = 0.0) -> np.ndarra
 
 
 def noise_floor(values: np.ndarray, tail_taps: int = NOISE_FLOOR_TAPS) -> float:
-    """Average power of the trailing taps, used as the channel noise level.
+    """Average *magnitude* of the trailing taps: the channel noise level.
 
     The paper estimates each microphone channel's noise level from the
-    average power in the last 100 channel taps.
+    last 100 channel taps and describes it as an average power.  This
+    implementation deliberately uses the mean **magnitude**
+    ``mean(|x|)`` instead of the mean power ``mean(|x|**2)``: the
+    estimate is compared (plus ``DIRECT_PATH_MARGIN``) against the
+    peak-normalised *magnitude* channel ``|h| / max|h|``, so it must
+    live on the amplitude scale — a squared tail of a [0, 1]-normalised
+    channel would be quadratically too small and the margin ``lambda``
+    would dominate the threshold.  ``DIRECT_PATH_MARGIN`` (0.2) is
+    calibrated against this amplitude-scale floor.  Use
+    :func:`noise_floor_power` for the literal mean-power statistic.
     """
     values = np.asarray(values, dtype=float)
     if values.size == 0:
         raise ValueError("values must be non-empty")
     tail = values[-min(tail_taps, values.size) :]
     return float(np.mean(np.abs(tail)))
+
+
+def noise_floor_power(values: np.ndarray, tail_taps: int = NOISE_FLOOR_TAPS) -> float:
+    """Average power ``mean(|x|**2)`` of the trailing taps.
+
+    The paper's literal statistic.  Only meaningful against a
+    power-scale channel (or with a margin recalibrated to the squared
+    scale); the estimator stack uses :func:`noise_floor`.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    tail = values[-min(tail_taps, values.size) :]
+    return float(np.mean(np.abs(tail) ** 2))

@@ -1,0 +1,364 @@
+"""Batch-first rendering of waveform exchanges (bit-identical to legacy).
+
+The legacy path (:mod:`repro.simulate.waveform_sim`) simulates one
+exchange at a time: every trial pays its own template FFTs, filter
+designs, Python tap loops and per-sample peak scans.  This module
+splits each exchange into
+
+* **Phase A** (``add``): everything that touches the experiment's
+  random stream — geometry-independent draws, tap realisation, noise
+  draws — executed trial by trial in *exactly* the legacy order, so the
+  generator state after ``add`` matches the legacy backend sample for
+  sample; and
+* **Phase B** (``render``): the heavy, RNG-free array work — FIR
+  scatter, channel convolution, noise shaping, stream assembly —
+  executed batched across trials, grouped by FFT length so every row
+  uses the very transform sizes the scalar path would have used.
+
+The combination makes the rendered microphone streams **bit-identical**
+to :func:`repro.simulate.waveform_sim.simulate_reception` while paying
+template/filter/waveform preparation once per batch instead of once per
+trial (see ``tests/test_batch_parity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.channel.multipath import image_method_tap_arrays
+from repro.channel.noise import bandpass_sos, spiky_noise
+from repro.channel.occlusion import occlusion_gain_array
+from repro.channel.render import CachedWaveform, apply_channel_batch
+from repro.simulate.waveform_sim import (
+    ExchangeConfig,
+    RangingMeasurement,
+    _rx_mic_positions,
+    directivity_gain_array,
+    directivity_tap_gains,
+    fluctuate_tap_arrays,
+)
+from repro.signals.preamble import Preamble
+
+
+@dataclass
+class _MicPlan:
+    """Phase-A output for one (trial, microphone) channel."""
+
+    positions: np.ndarray  # tap delays * sample_rate
+    amplitudes: np.ndarray
+    fir_length: int
+    body_length: int
+    stream_length: int
+    white: np.ndarray  # unfiltered ambient draw
+    spike: np.ndarray
+    hw: np.ndarray
+    ambient_rms: float
+
+
+@dataclass
+class _TrialPlan:
+    """Phase-A output for one exchange."""
+
+    guard: int
+    true_arrival: float
+    wave_scale: float
+    mics: Tuple[_MicPlan, _MicPlan]
+
+
+@dataclass
+class Reception:
+    """One rendered exchange: what ``simulate_reception`` returns."""
+
+    mic1: np.ndarray
+    mic2: np.ndarray
+    guard: int
+    true_arrival: float
+
+
+class BatchExchangeRenderer:
+    """Accumulates exchanges (Phase A) and renders them together (Phase B).
+
+    ``add`` consumes ``rng`` exactly like
+    :func:`~repro.simulate.waveform_sim.simulate_reception`; ``render``
+    performs no draws at all.  Typical use renders a sweep's worth of
+    trials per call; memory stays bounded because callers (e.g.
+    :class:`BatchOneWay`) flush in chunks.
+    """
+
+    def __init__(self, preamble: Preamble):
+        self.preamble = preamble
+        self.fs = float(preamble.config.ofdm.sample_rate)
+        self._plans: List[_TrialPlan] = []
+        self._waves: Dict[float, CachedWaveform] = {}
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def add(
+        self,
+        tx_pos,
+        rx_pos,
+        config: ExchangeConfig,
+        rng: np.random.Generator,
+    ) -> int:
+        """Plan one exchange, consuming ``rng`` in legacy order."""
+        env = config.environment
+        fs = self.fs
+        tx = np.asarray(tx_pos, dtype=float)
+        rx = np.asarray(rx_pos, dtype=float)
+        nominal_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
+        sound_speed = nominal_speed * (
+            1.0 + rng.normal(0.0, config.sound_speed_error_std)
+        )
+        guard = int(config.guard_s * fs)
+        mic_positions = _rx_mic_positions(config, rx)
+        fluctuation_seed = int(rng.integers(0, 2**32))
+
+        preamble_len = len(self.preamble)
+        tail = int(0.08 * fs)
+        wave_scale = config.amplitude * config.tx_model.source_level
+        true_arrival: Optional[float] = None
+        mic_plans: List[_MicPlan] = []
+        for mic_index, mic_pos in enumerate(mic_positions):
+            delays, amps, surf, bot = image_method_tap_arrays(
+                tx,
+                mic_pos,
+                env.water_depth_m,
+                sound_speed,
+                max_order=env.max_image_order,
+                surface_coeff=env.surface_coeff,
+                bottom_coeff=env.bottom_coeff,
+            )
+            if config.occlusion is not None:
+                amps = amps * occlusion_gain_array(surf, bot, config.occlusion)
+            gains = directivity_tap_gains(config, tx, mic_pos, env.water_depth_m)
+            amps = amps * directivity_gain_array(surf, bot, gains)
+            if mic_index == 0:
+                direct = delays[(surf == 0) & (bot == 0)].min()
+                true_arrival = guard + direct * fs
+            distance = float(np.linalg.norm(mic_pos - tx))
+            sigma_db = 1.5 + 0.05 * distance
+            delays, amps = fluctuate_tap_arrays(
+                delays,
+                amps,
+                sigma_db,
+                0.5 / fs,
+                np.random.default_rng(fluctuation_seed),
+            )
+            order = np.argsort(delays, kind="stable")
+            delays, amps = delays[order], amps[order]
+            # Waterproof-case reflection: one trailing copy per arrival,
+            # then a stable delay sort — exactly the legacy list concat.
+            model = config.rx_model
+            delays = np.concatenate(
+                [delays, delays + model.case_multipath_delay_s]
+            )
+            amps = np.concatenate([amps, amps * model.case_multipath_amp])
+            order = np.argsort(delays, kind="stable")
+            delays, amps = delays[order], amps[order]
+
+            max_delay = float(delays.max())
+            body_length = preamble_len + int(max_delay * fs) + tail
+            default_len = preamble_len + int(np.ceil(max_delay * fs)) + 2
+            fir_length = min(body_length, default_len)
+            stream_length = guard + body_length
+
+            white = rng.standard_normal(stream_length)
+            spike = spiky_noise(stream_length, env.noise, rng, fs)
+            hw = config.rx_model.mic_noise_rms[mic_index] * rng.standard_normal(
+                stream_length
+            )
+            mic_plans.append(
+                _MicPlan(
+                    positions=delays * fs,
+                    amplitudes=amps,
+                    fir_length=fir_length,
+                    body_length=body_length,
+                    stream_length=stream_length,
+                    white=white,
+                    spike=spike,
+                    hw=hw,
+                    ambient_rms=env.noise.ambient_rms,
+                )
+            )
+        self._plans.append(
+            _TrialPlan(
+                guard=guard,
+                true_arrival=float(true_arrival),
+                wave_scale=wave_scale,
+                mics=(mic_plans[0], mic_plans[1]),
+            )
+        )
+        return len(self._plans) - 1
+
+    def _cached_wave(self, scale: float) -> CachedWaveform:
+        wave = self._waves.get(scale)
+        if wave is None:
+            wave = CachedWaveform(scale * self.preamble.waveform)
+            self._waves[scale] = wave
+        return wave
+
+    def render(self) -> List[Reception]:
+        """Phase B: render every planned exchange, then clear the plan list."""
+        plans = self._plans
+        self._plans = []
+        if not plans:
+            return []
+        rows: List[Tuple[int, int]] = [
+            (t, m) for t in range(len(plans)) for m in range(2)
+        ]
+        mic_of = lambda row: plans[row[0]].mics[row[1]]  # noqa: E731
+
+        # Channel convolution, grouped by FFT length inside
+        # apply_channel_batch; the waveform spectrum cache is keyed by
+        # amplitude scale so mixed-config batches stay correct.
+        bodies: List[np.ndarray] = [None] * len(rows)  # type: ignore[list-item]
+        by_scale: Dict[float, List[int]] = {}
+        for i, row in enumerate(rows):
+            by_scale.setdefault(plans[row[0]].wave_scale, []).append(i)
+        for scale, idxs in by_scale.items():
+            outs = apply_channel_batch(
+                self._cached_wave(scale),
+                [
+                    (mic_of(rows[i]).positions, mic_of(rows[i]).amplitudes)
+                    for i in idxs
+                ],
+                [mic_of(rows[i]).fir_length for i in idxs],
+                [mic_of(rows[i]).body_length for i in idxs],
+            )
+            for i, body in zip(idxs, outs):
+                bodies[i] = body
+
+        # Ambient noise: one batched causal filter over all rows.  A
+        # zero-padded tail cannot alter a causal filter's prefix, so
+        # each row's first ``stream_length`` samples match the scalar
+        # sosfilt output bit for bit.
+        sos = bandpass_sos(self.fs)
+        lengths = [mic_of(r).stream_length for r in rows]
+        slab = np.zeros((len(rows), max(lengths)))
+        for i, row in enumerate(rows):
+            slab[i, : lengths[i]] = mic_of(row).white
+        filtered = sp_signal.sosfilt(sos, slab, axis=-1)
+
+        receptions: List[Reception] = []
+        for t, plan in enumerate(plans):
+            streams = []
+            for m in range(2):
+                i = 2 * t + m
+                mic = plan.mics[m]
+                n = mic.stream_length
+                shaped = filtered[i, :n]
+                rms = np.sqrt(np.mean(shaped**2))
+                if rms > 0:
+                    shaped = shaped * (mic.ambient_rms / rms)
+                else:  # pragma: no cover - silent filter output
+                    shaped = shaped.copy()
+                stream = np.empty(n)
+                stream[: plan.guard] = 0.0
+                stream[plan.guard :] = bodies[i]
+                # (stream + (ambient + spiky)) + hw, reusing buffers —
+                # the addition order matches the legacy path exactly.
+                shaped += mic.spike
+                shaped += stream
+                shaped += mic.hw
+                streams.append(shaped)
+            n = min(s.size for s in streams)
+            receptions.append(
+                Reception(
+                    mic1=streams[0][:n],
+                    mic2=streams[1][:n],
+                    guard=plan.guard,
+                    true_arrival=plan.true_arrival,
+                )
+            )
+        return receptions
+
+
+@dataclass
+class _OneWayMeta:
+    """Per-trial bookkeeping for :class:`BatchOneWay`."""
+
+    true_distance: float
+    mic1_true: float
+    guard: int
+    sound_speed: float
+    mic_separation_m: float
+    detection: object
+
+
+class BatchOneWay:
+    """Batched :func:`repro.simulate.waveform_sim.one_way_range`.
+
+    ``add`` mirrors the legacy call's RNG consumption; ``run`` renders
+    and estimates everything batch-wise and returns measurements in
+    submission order, bit-identical to the legacy loop.  Flushes
+    internally every ``chunk`` trials to bound memory.
+    """
+
+    def __init__(self, preamble: Preamble, chunk: int = 24):
+        from repro.ranging.batch import BatchArrivalEstimator
+
+        self.preamble = preamble
+        self.chunk = int(chunk)
+        self.renderer = BatchExchangeRenderer(preamble)
+        self.estimator = BatchArrivalEstimator(preamble)
+        self._meta: List[_OneWayMeta] = []
+        self._results: List[RangingMeasurement] = []
+
+    def add(self, tx_pos, rx_pos, config: ExchangeConfig, rng: np.random.Generator) -> None:
+        env = config.environment
+        tx = np.asarray(tx_pos, dtype=float)
+        rx = np.asarray(rx_pos, dtype=float)
+        sound_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
+        self.renderer.add(tx, rx, config, rng)
+        true_distance = float(np.linalg.norm(rx - tx))
+        mic1_pos = _rx_mic_positions(config, rx)[0]
+        self._meta.append(
+            _OneWayMeta(
+                true_distance=true_distance,
+                mic1_true=float(np.linalg.norm(mic1_pos - tx)),
+                guard=int(config.guard_s * self.renderer.fs),
+                sound_speed=sound_speed,
+                mic_separation_m=config.rx_model.mic_separation_m,
+                detection=config.detection,
+            )
+        )
+        if len(self._meta) >= self.chunk:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._meta:
+            return
+        receptions = self.renderer.render()
+        meta, self._meta = self._meta, []
+        estimates = self.estimator.estimate_many(
+            [r.mic1 for r in receptions],
+            [r.mic2 for r in receptions],
+            mic_separations=[m.mic_separation_m for m in meta],
+            sound_speeds=[m.sound_speed for m in meta],
+            detection_configs=[m.detection for m in meta],
+        )
+        fs = self.renderer.fs
+        for m, estimate in zip(meta, estimates):
+            if estimate is None:
+                self._results.append(
+                    RangingMeasurement(m.true_distance, float("nan"), detected=False)
+                )
+                continue
+            est_mic1 = (estimate.arrival_index - m.guard) / fs * m.sound_speed
+            est_center = est_mic1 + (m.true_distance - m.mic1_true)
+            self._results.append(
+                RangingMeasurement(
+                    m.true_distance, float(est_center), detected=True, arrival=estimate
+                )
+            )
+
+    def run(self) -> List[RangingMeasurement]:
+        """Render and estimate all pending trials; return all results."""
+        self._flush()
+        results, self._results = self._results, []
+        return results

@@ -113,22 +113,18 @@ def _with_case_multipath(taps: Sequence[PathTap], model: DeviceModel) -> List[Pa
     return out
 
 
-def _directivity_scaled(
-    taps: Sequence[PathTap],
+def directivity_tap_gains(
     config: ExchangeConfig,
     tx_pos: np.ndarray,
     rx_pos: np.ndarray,
     water_depth_m: float,
-) -> List[PathTap]:
-    """Scale taps by speaker directivity at their *departure* angles.
+) -> Tuple[float, float, float, float]:
+    """The four distinct per-tap directivity gains of one exchange.
 
-    The direct path leaves towards the receiver; a first-order surface
-    (bottom) bounce leaves towards the receiver's mirror image above the
-    surface (below the bottom). A speaker pointing up therefore beams
-    *into* the surface bounce while starving the direct path — exactly
-    the mechanism behind the paper's worst-case "device faces upward"
-    result (Fig. 14a). Higher-order paths are left unscaled: their
-    departure angles spread widely and their total energy is small.
+    Returns ``(g_direct, g_surface, g_bottom, g_other)``: the combined
+    speaker+mic gain for the direct path, a first-order surface bounce,
+    a first-order bottom bounce, and every higher-order path (mic gain
+    only).  Shared by the scalar and the batch tap pipelines.
     """
 
     def tx_gain_towards(target: np.ndarray) -> float:
@@ -160,27 +156,60 @@ def _directivity_scaled(
 
     surface_image = np.array([rx_pos[0], rx_pos[1], -rx_pos[2]])
     bottom_image = np.array([rx_pos[0], rx_pos[1], 2 * water_depth_m - rx_pos[2]])
+    return (
+        tx_gain_towards(rx_pos) * g_rx,
+        tx_gain_towards(surface_image) * g_rx,
+        tx_gain_towards(bottom_image) * g_rx,
+        g_rx,
+    )
 
-    out = []
-    for tap in taps:
-        bounces = (tap.surface_bounces, tap.bottom_bounces)
-        if tap.is_direct:
-            gain = tx_gain_towards(rx_pos) * g_rx
-        elif bounces == (1, 0):
-            gain = tx_gain_towards(surface_image) * g_rx
-        elif bounces == (0, 1):
-            gain = tx_gain_towards(bottom_image) * g_rx
-        else:
-            gain = g_rx
-        out.append(
-            PathTap(
-                delay_s=tap.delay_s,
-                amplitude=tap.amplitude * gain,
-                surface_bounces=tap.surface_bounces,
-                bottom_bounces=tap.bottom_bounces,
-            )
-        )
+
+def directivity_gain_array(
+    surface_bounces: np.ndarray,
+    bottom_bounces: np.ndarray,
+    gains: Tuple[float, float, float, float],
+) -> np.ndarray:
+    """Per-tap gain vector from bounce counts and the four gain levels."""
+    g_direct, g_surf, g_bot, g_other = gains
+    out = np.full(surface_bounces.shape, g_other)
+    out[(surface_bounces == 1) & (bottom_bounces == 0)] = g_surf
+    out[(surface_bounces == 0) & (bottom_bounces == 1)] = g_bot
+    out[(surface_bounces == 0) & (bottom_bounces == 0)] = g_direct
     return out
+
+
+def _directivity_scaled(
+    taps: Sequence[PathTap],
+    config: ExchangeConfig,
+    tx_pos: np.ndarray,
+    rx_pos: np.ndarray,
+    water_depth_m: float,
+) -> List[PathTap]:
+    """Scale taps by speaker directivity at their *departure* angles.
+
+    The direct path leaves towards the receiver; a first-order surface
+    (bottom) bounce leaves towards the receiver's mirror image above the
+    surface (below the bottom). A speaker pointing up therefore beams
+    *into* the surface bounce while starving the direct path — exactly
+    the mechanism behind the paper's worst-case "device faces upward"
+    result (Fig. 14a). Higher-order paths are left unscaled: their
+    departure angles spread widely and their total energy is small.
+    """
+    gains = directivity_tap_gains(config, tx_pos, rx_pos, water_depth_m)
+    per_tap = directivity_gain_array(
+        np.array([t.surface_bounces for t in taps]),
+        np.array([t.bottom_bounces for t in taps]),
+        gains,
+    )
+    return [
+        PathTap(
+            delay_s=tap.delay_s,
+            amplitude=tap.amplitude * gain,
+            surface_bounces=tap.surface_bounces,
+            bottom_bounces=tap.bottom_bounces,
+        )
+        for tap, gain in zip(taps, per_tap)
+    ]
 
 
 def _channel_fluctuation(
@@ -202,20 +231,52 @@ def _channel_fluctuation(
     Fig. 11a) even though the geometry is fixed.
     """
     sigma_db = base_sigma_db + sigma_db_per_m * distance_m
-    out = []
-    for tap in taps:
-        gain_db = rng.normal(0.0, sigma_db)
-        jitter_s = rng.normal(0.0, delay_jitter_samples / sample_rate)
-        out.append(
-            PathTap(
-                delay_s=max(tap.delay_s + jitter_s, 0.0),
-                amplitude=tap.amplitude * 10.0 ** (gain_db / 20.0),
-                surface_bounces=tap.surface_bounces,
-                bottom_bounces=tap.bottom_bounces,
-            )
+    delays, amps = fluctuate_tap_arrays(
+        np.array([t.delay_s for t in taps]),
+        np.array([t.amplitude for t in taps]),
+        sigma_db,
+        delay_jitter_samples / sample_rate,
+        rng,
+    )
+    order = np.argsort(delays, kind="stable")
+    return [
+        PathTap(
+            delay_s=float(delays[i]),
+            amplitude=float(amps[i]),
+            surface_bounces=taps[i].surface_bounces,
+            bottom_bounces=taps[i].bottom_bounces,
         )
-    out.sort(key=lambda t: t.delay_s)
-    return out
+        for i in order
+    ]
+
+
+def fluctuate_tap_arrays(
+    delays_s: np.ndarray,
+    amplitudes: np.ndarray,
+    sigma_db: float,
+    jitter_std_s: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array core of :func:`_channel_fluctuation` (unsorted).
+
+    Draws one ``(gain, jitter)`` normal pair per tap.  A ``(n, 2)``
+    standard-normal block consumes the generator stream in exactly the
+    per-tap interleaved order of the original scalar loop, and scaling
+    standard draws by the sigmas reproduces ``rng.normal(0, sigma)``
+    bit for bit, so the fluctuated taps are identical to the legacy
+    path's.
+    """
+    z = rng.normal(0.0, 1.0, size=(delays_s.size, 2))
+    gains_db = z[:, 0] * sigma_db
+    jitter_s = z[:, 1] * jitter_std_s
+    # 10**x must go through libm's pow like the scalar loop did: numpy's
+    # vectorised pow rounds differently in the last ulp, which would
+    # silently break bit-parity with the legacy backend.
+    factors = np.array([10.0 ** (g / 20.0) for g in gains_db.tolist()])
+    return (
+        np.maximum(delays_s + jitter_s, 0.0),
+        amplitudes * factors,
+    )
 
 
 def _rx_mic_positions(config: ExchangeConfig, rx_pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

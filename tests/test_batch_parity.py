@@ -1,0 +1,196 @@
+"""Batch-vs-legacy waveform backend parity (the PR-3 adapter contract).
+
+The batch backend consumes the experiment's random stream in exactly
+the legacy order and performs every floating-point operation with the
+same rounding, so rendered streams, ranging errors and figure outputs
+are **bit-identical** to the per-exchange path on fixed seeds — the
+same contract the DES backend pinned at the timestamp level in
+``tests/test_des_parity.py``, extended down to the waveform level.
+
+Also pins the trial-chunking determinism contract: with
+``trial_chunks=N``, campaign artifacts are byte-identical no matter how
+many workers produced them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import BOATHOUSE, DOCK
+from repro.channel.occlusion import Occlusion
+from repro.devices.models import GOOGLE_PIXEL, ONEPLUS
+from repro.experiments import engine
+from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchExchangeRenderer, BatchOneWay
+from repro.simulate.waveform_sim import (
+    ExchangeConfig,
+    one_way_range,
+    simulate_reception,
+)
+
+
+@pytest.fixture(scope="module")
+def preamble():
+    return make_preamble()
+
+
+def _measurements_equal(a, b):
+    if a.true_distance_m != b.true_distance_m or a.detected != b.detected:
+        return False
+    if np.isnan(a.estimated_distance_m) and np.isnan(b.estimated_distance_m):
+        return True
+    if a.estimated_distance_m != b.estimated_distance_m:
+        return False
+    if (a.arrival is None) != (b.arrival is None):
+        return False
+    if a.arrival is not None:
+        return (
+            a.arrival.arrival_index == b.arrival.arrival_index
+            and a.arrival.detection.start_index == b.arrival.detection.start_index
+            and a.arrival.arrival_sign == b.arrival.arrival_sign
+        )
+    return True
+
+
+class TestReceptionParity:
+    def _assert_streams_match(self, preamble, config, geometries, seed):
+        r_legacy = np.random.default_rng(seed)
+        r_batch = np.random.default_rng(seed)
+        renderer = BatchExchangeRenderer(preamble)
+        legacy = []
+        for tx, rx in geometries:
+            legacy.append(simulate_reception(preamble, tx, rx, config, r_legacy))
+            renderer.add(tx, rx, config, r_batch)
+        receptions = renderer.render()
+        assert r_legacy.bit_generator.state == r_batch.bit_generator.state
+        for (mic1, mic2, guard, true_idx), rec in zip(legacy, receptions):
+            assert np.array_equal(mic1, rec.mic1)
+            assert np.array_equal(mic2, rec.mic2)
+            assert guard == rec.guard
+            assert true_idx == rec.true_arrival
+
+    def test_dock_streams_bit_identical(self, preamble):
+        config = ExchangeConfig(environment=DOCK)
+        geometries = [([0, 0, 2.5], [d, 0, 2.4]) for d in (10.0, 20.0, 35.0, 45.0)]
+        self._assert_streams_match(preamble, config, geometries, seed=11)
+
+    def test_boathouse_with_occlusion_and_models(self, preamble):
+        config = ExchangeConfig(
+            environment=BOATHOUSE,
+            tx_model=GOOGLE_PIXEL,
+            rx_model=ONEPLUS,
+            tx_azimuth_rad=0.7,
+            tx_polar_rad=0.3,
+            occlusion=Occlusion(direct_attenuation_db=40.0),
+            amplitude=0.7,
+        )
+        geometries = [([0, 0, 1.0], [12.0, 1.0, 1.4]), ([0, 0, 1.2], [20.0, -2.0, 0.8])]
+        self._assert_streams_match(preamble, config, geometries, seed=23)
+
+
+class TestOneWayParity:
+    def test_measurements_bit_identical(self, preamble):
+        config = ExchangeConfig(environment=DOCK)
+        r_legacy = np.random.default_rng(2023)
+        r_batch = np.random.default_rng(2023)
+        sim = BatchOneWay(preamble, chunk=5)  # force multiple flushes
+        legacy = []
+        for i in range(12):
+            tx, rx = [0, 0, 2.5], [10 + 2.5 * i, 0, 2.5]
+            legacy.append(one_way_range(preamble, tx, rx, config, r_legacy))
+            sim.add(tx, rx, config, r_batch)
+        batch = sim.run()
+        assert r_legacy.bit_generator.state == r_batch.bit_generator.state
+        assert len(batch) == len(legacy)
+        for a, b in zip(legacy, batch):
+            assert _measurements_equal(a, b)
+
+    def test_undetectable_exchange_matches(self, preamble):
+        quiet = ExchangeConfig(environment=DOCK, amplitude=1e-6)
+        r_legacy = np.random.default_rng(3)
+        r_batch = np.random.default_rng(3)
+        legacy = one_way_range(preamble, [0, 0, 2.5], [25, 0, 2.5], quiet, r_legacy)
+        sim = BatchOneWay(preamble)
+        sim.add([0, 0, 2.5], [25, 0, 2.5], quiet, r_batch)
+        (batch,) = sim.run()
+        assert not legacy.detected and not batch.detected
+        assert np.isnan(batch.estimated_distance_m)
+
+
+#: Campaign entries with a waveform backend switch, with cheap params.
+_BACKEND_EXPERIMENTS = {
+    "fig11": dict(scale=1.0, num_exchanges=3, ablation_exchanges=2),
+    "fig12": dict(scale=1.0, num_trials=3, num_exchanges=2),
+    "fig13": dict(scale=1.0, num_exchanges=3, readings_per_depth=4),
+    "fig14": dict(scale=1.0, num_exchanges=2),
+    "fig15": dict(scale=0.1),
+    "fig22": dict(scale=1.0, num_symbols=4),
+}
+
+
+class TestExperimentBackendParity:
+    @pytest.mark.parametrize("name", sorted(_BACKEND_EXPERIMENTS))
+    def test_measured_outputs_bit_identical(self, name):
+        params = _BACKEND_EXPERIMENTS[name]
+        spec = engine.get_spec(name)
+        entry = spec.resolve_entry()
+        outputs = {}
+        for backend in ("legacy", "batch"):
+            rng = engine.experiment_rng(name)
+            outputs[backend] = entry(rng, backend=backend, **params)
+        legacy = engine.jsonify(outputs["legacy"].measured)
+        batch = engine.jsonify(outputs["batch"].measured)
+        # Exact equality, including every float bit (json round-trip
+        # keeps repr-exact decimal forms).
+        assert json.dumps(legacy, sort_keys=True) == json.dumps(batch, sort_keys=True)
+        assert outputs["legacy"].report == outputs["batch"].report
+
+    def test_unknown_backend_rejected(self):
+        from repro.experiments.fig11_ranging import run_ranging_sweep
+
+        with pytest.raises(ValueError, match="backend"):
+            run_ranging_sweep(np.random.default_rng(0), backend="turbo")
+
+
+class TestChunkedCampaignDeterminism:
+    def _artifact(self, workers, trial_chunks):
+        results = engine.run_campaign(
+            ["fig14"],
+            base_seed=7,
+            workers=workers,
+            scale=0.08,
+            trial_chunks=trial_chunks,
+        )
+        return engine.campaign_to_json(results, base_seed=7)
+
+    @pytest.mark.slow
+    def test_serial_vs_workers4_byte_identical(self):
+        serial = self._artifact(workers=1, trial_chunks=3)
+        parallel = self._artifact(workers=4, trial_chunks=3)
+        assert serial == parallel
+        doc = json.loads(serial)
+        entry = doc["experiments"][0]
+        assert entry["status"] == "ok"
+        assert entry["measured"]["orientation_median_m"]
+
+    def test_chunk_share_partitions_trials(self):
+        for count in (0, 1, 7, 30):
+            for total in (1, 2, 3, 8):
+                shares = [engine.chunk_share(count, (i, total)) for i in range(total)]
+                assert sum(shares) == count
+                assert max(shares) - min(shares) <= 1
+                offsets = [engine.chunk_offset(count, (i, total)) for i in range(total)]
+                assert offsets == [sum(shares[:i]) for i in range(total)]
+
+    def test_merged_chunks_cover_all_trials(self):
+        results = engine.run_campaign(
+            ["fig14"], base_seed=3, scale=0.08, trial_chunks=2
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert result.status == "ok"
+        assert result.chunk is None
+        # Raw errors from both chunks were concatenated before the
+        # summary produced a single merged result.
+        assert result.measured["orientation_median_m"]

@@ -1,0 +1,313 @@
+"""Batched-vs-scalar bit-parity of the signal kernels (property-based).
+
+The batch pipeline's contract is *bit-identical* outputs to the scalar
+reference modules on the same inputs — not approximate equality.  These
+hypothesis tests drive random shapes/SNRs through both paths and assert
+exact equality, so any platform where a vectorised op rounds differently
+from its scalar twin fails loudly here rather than silently breaking
+end-to-end parity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.multipath import PathTap, image_method_tap_arrays, image_method_taps
+from repro.channel.render import (
+    CachedWaveform,
+    apply_channel,
+    apply_channel_batch,
+    render_taps,
+    render_taps_positions,
+)
+from repro.constants import NOISE_FLOOR_TAPS
+from repro.signals import batchcorr
+from repro.signals.correlation import (
+    cross_correlate,
+    normalized_cross_correlation,
+    segment_autocorrelation,
+    sliding_autocorrelation,
+)
+from repro.signals.peaks import is_peak, local_peak_indices, noise_floor, noise_floor_power
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+class TestCrossCorrelateParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_streams=st.integers(1, 5),
+        template_len=st.integers(1, 64),
+    )
+    def test_batched_matches_scalar(self, seed, n_streams, template_len):
+        rng = _rng(seed)
+        template = rng.standard_normal(template_len)
+        streams = [
+            rng.standard_normal(rng.integers(1, 400)) * 10.0 ** rng.uniform(-3, 2)
+            for _ in range(n_streams)
+        ]
+        batched = batchcorr.cross_correlate_batch(streams, template)
+        for stream, got in zip(streams, batched):
+            want = cross_correlate(stream, template)
+            assert np.array_equal(want, got)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_streams=st.integers(1, 5),
+        template_len=st.integers(1, 64),
+    )
+    def test_normalized_matches_scalar(self, seed, n_streams, template_len):
+        rng = _rng(seed)
+        template = rng.standard_normal(template_len)
+        streams = [
+            rng.standard_normal(rng.integers(1, 400)) * 10.0 ** rng.uniform(-3, 2)
+            for _ in range(n_streams)
+        ]
+        batched = batchcorr.normalized_cross_correlation_batch(streams, template)
+        for stream, got in zip(streams, batched):
+            want = normalized_cross_correlation(stream, template)
+            assert np.array_equal(want, got)
+
+    def test_template_cache_reused_across_lengths(self):
+        rng = _rng(0)
+        tmpl = batchcorr.CachedTemplate(rng.standard_normal(32))
+        batchcorr.cross_correlate_batch([rng.standard_normal(100)], tmpl)
+        batchcorr.cross_correlate_batch([rng.standard_normal(100)], tmpl)
+        assert len(tmpl._rev_fft) == 1  # second call hit the cache
+
+
+class TestPeakParity:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+    def test_local_peaks_match_scalar(self, seed, n):
+        rng = _rng(seed)
+        # Mix plateaus in: ties exercise the >= / > boundary logic.
+        values = np.round(rng.standard_normal(n), rng.integers(0, 3))
+        min_height = float(rng.uniform(-1.0, 1.0))
+        want = local_peak_indices(values, min_height)
+        got = batchcorr.local_peak_indices_fast(values, min_height)
+        assert np.array_equal(want, got)
+        (batch_row,) = batchcorr.local_peak_indices_batch(
+            values[None, :], min_height
+        )
+        assert np.array_equal(want, batch_row)
+
+    def test_mask_matches_is_peak_per_index(self):
+        values = np.array([1.0, 1.0, 2.0, 2.0, 1.0, 3.0])
+        mask = batchcorr.peak_mask(values)
+        for i in range(values.size):
+            assert mask[i] == is_peak(i, values)
+
+    def test_single_sample_is_not_a_peak(self):
+        assert batchcorr.local_peak_indices_fast(np.array([5.0]), 0.0).size == 0
+
+
+class TestSegmentAutocorrelationParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        symbol_len=st.integers(1, 48),
+        cp=st.integers(0, 16),
+        num_symbols=st.integers(2, 5),
+    )
+    def test_fast_matches_scalar(self, seed, symbol_len, cp, num_symbols):
+        rng = _rng(seed)
+        stride = symbol_len + cp
+        signs = tuple(int(s) for s in rng.choice([-1, 1], size=num_symbols))
+        window = rng.standard_normal(stride * num_symbols) * 10.0 ** rng.uniform(-4, 2)
+        want = segment_autocorrelation(window, signs, stride, symbol_len)
+        got = batchcorr.segment_autocorrelation_fast(window, signs, stride, symbol_len)
+        assert want == got
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        symbol_len=st.integers(1, 48),
+        cp=st.integers(0, 16),
+        n_candidates=st.integers(0, 8),
+    )
+    def test_sliding_matches_scalar(self, seed, symbol_len, cp, n_candidates):
+        rng = _rng(seed)
+        stride = symbol_len + cp
+        signs = (1, 1, -1, 1)
+        stream = rng.standard_normal(stride * 4 + 200)
+        candidates = rng.integers(-10, stream.size, size=n_candidates)
+        want = sliding_autocorrelation(stream, candidates, signs, stride, symbol_len)
+        got = batchcorr.sliding_autocorrelation_batch(
+            stream, candidates, signs, stride, symbol_len
+        )
+        assert np.array_equal(want, got)
+
+    def test_scores_match_scalar_over_candidate_batch(self):
+        rng = _rng(7)
+        stride, symbol_len = 60, 48
+        signs = (1, 1, -1, 1)
+        stream = rng.standard_normal(stride * 4 + 500)
+        starts = list(range(0, 500, 37))
+        scores = batchcorr.segment_autocorrelation_scores(
+            stream, starts, signs, stride, symbol_len
+        )
+        for start, score in zip(starts, scores):
+            want = segment_autocorrelation(
+                stream[start : start + stride * 4], signs, stride, symbol_len
+            )
+            assert want == score
+
+    def test_degenerate_segment_scores_zero(self):
+        stride, symbol_len = 8, 8
+        window = np.zeros(stride * 4)
+        window[stride:] = 1.0  # first segment all zero
+        signs = (1, 1, 1, 1)
+        assert segment_autocorrelation(window, signs, stride, symbol_len) == 0.0
+        assert batchcorr.segment_autocorrelation_fast(window, signs, stride, symbol_len) == 0.0
+
+
+class TestRenderParity:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_taps=st.integers(1, 40))
+    def test_scatter_matches_loop(self, seed, n_taps):
+        rng = _rng(seed)
+        positions = rng.uniform(0.0, 120.0, n_taps)
+        amps = rng.standard_normal(n_taps)
+        length = int(rng.integers(1, 140))
+        got = render_taps_positions(positions, amps, length)
+        want = np.zeros(length)
+        for pos, amp in zip(positions, amps):
+            base = int(np.floor(pos))
+            frac = pos - base
+            if base + 1 >= length:
+                continue
+            want[base] += amp * (1.0 - frac)
+            want[base + 1] += amp * frac
+        assert np.array_equal(want, got)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_apply_channel_batch_matches_scalar(self, seed):
+        rng = _rng(seed)
+        wave = rng.standard_normal(int(rng.integers(8, 200)))
+        cached = CachedWaveform(wave)
+        taps_rows = []
+        for _ in range(int(rng.integers(1, 4))):
+            n_taps = int(rng.integers(1, 12))
+            taps_rows.append(
+                [
+                    PathTap(float(d), float(a))
+                    for d, a in zip(
+                        rng.uniform(0.0, 0.01, n_taps), rng.standard_normal(n_taps)
+                    )
+                ]
+            )
+        fs = 44_100.0
+        outputs = [int(rng.integers(4, 600)) for _ in taps_rows]
+        want = [
+            apply_channel(wave, taps, fs, output_length=n)
+            for taps, n in zip(taps_rows, outputs)
+        ]
+        fir_lengths = []
+        firs = []
+        for taps, n in zip(taps_rows, outputs):
+            max_delay = max(t.delay_s for t in taps)
+            default_len = wave.size + int(np.ceil(max_delay * fs)) + 2
+            fir_len = min(n, default_len)
+            fir_lengths.append(fir_len)
+            firs.append(render_taps(taps, fs, length=fir_len))
+        got = apply_channel_batch(cached, firs, fir_lengths, outputs)
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+    def test_render_taps_uses_scatter_core(self):
+        taps = [PathTap(0.001, 1.0), PathTap(0.0013, -0.5)]
+        fir = render_taps(taps, 44_100.0)
+        assert fir.size >= 2 and np.count_nonzero(fir) >= 2
+
+
+class TestImageMethodArrays:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_arrays_match_tap_list(self, seed):
+        rng = _rng(seed)
+        depth = float(rng.uniform(2.0, 20.0))
+        tx = np.array([0.0, 0.0, rng.uniform(0.1, depth - 0.1)])
+        rx = np.array(
+            [rng.uniform(1.0, 50.0), rng.uniform(-5.0, 5.0), rng.uniform(0.1, depth - 0.1)]
+        )
+        speed = float(rng.uniform(1400.0, 1560.0))
+        order = int(rng.integers(1, 5))
+        delays, amps, surf, bot = image_method_tap_arrays(
+            tx, rx, depth, speed, max_order=order
+        )
+        taps3 = image_method_taps(tx, rx, depth, speed, max_order=order)
+        assert len(taps3) == delays.size
+        for i, tap in enumerate(taps3):
+            assert tap.delay_s == delays[i]
+            assert tap.amplitude == amps[i]
+            assert tap.surface_bounces == surf[i]
+            assert tap.bottom_bounces == bot[i]
+
+
+class TestNoiseFloorRegression:
+    """Satellite: noise_floor is the *amplitude-scale* statistic.
+
+    The docstring/paper said "average power" while the code averaged
+    magnitudes; the magnitude semantics are what DIRECT_PATH_MARGIN is
+    calibrated against, so they are now pinned, with the literal
+    mean-power statistic available separately.
+    """
+
+    def test_noise_floor_is_mean_magnitude_of_tail(self):
+        rng = _rng(0)
+        values = rng.standard_normal(500)
+        want = float(np.mean(np.abs(values[-NOISE_FLOOR_TAPS:])))
+        assert noise_floor(values) == want
+
+    def test_noise_floor_power_is_mean_power_of_tail(self):
+        rng = _rng(1)
+        values = rng.standard_normal(500)
+        want = float(np.mean(np.abs(values[-NOISE_FLOOR_TAPS:]) ** 2))
+        assert noise_floor_power(values) == want
+
+    def test_power_floor_is_quadratically_smaller_on_normalised_channel(self):
+        # On a [0, 1] channel the power statistic would practically
+        # disappear under the 0.2 margin — the calibration argument for
+        # keeping the magnitude scale.
+        rng = _rng(2)
+        channel = np.abs(rng.standard_normal(1_920)) * 0.05
+        channel[100] = 1.0
+        mag = noise_floor(channel)
+        pow_ = noise_floor_power(channel)
+        assert pow_ < mag < 1.0
+        assert pow_ == pytest.approx(mag**2, rel=1.5)
+
+    def test_short_input_uses_whole_array(self):
+        values = np.array([1.0, -3.0])
+        assert noise_floor(values) == 2.0
+        assert noise_floor_power(values) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            noise_floor(np.array([]))
+        with pytest.raises(ValueError):
+            noise_floor_power(np.array([]))
+
+
+class TestCrossCorrelateTail:
+    """Satellite: the full-mode slice is always complete (no tail pad)."""
+
+    def test_output_length_equals_stream_length(self):
+        stream = np.ones(10)
+        template = np.ones(4)
+        out = cross_correlate(stream, template)
+        assert out.size == stream.size
+
+    def test_tail_tapers_instead_of_zero_padding(self):
+        # With an all-ones stream/template, entry i near the end sums
+        # only the overlapping template samples — nonzero, decreasing
+        # (up to FFT round-off; the old docstring claimed zeros there).
+        out = cross_correlate(np.ones(10), np.ones(4))
+        assert np.allclose(out[-4:], [4.0, 3.0, 2.0, 1.0])
+        assert np.all(np.abs(out[-4:]) > 0.5)
