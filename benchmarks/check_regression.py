@@ -1,0 +1,154 @@
+"""CI perf-regression gate over the benchmark artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline BENCH_PR3.json --current BENCH_CI.json
+
+Compares the per-figure backend speedups measured in this run against
+the committed baseline and fails (exit 1) when:
+
+* a figure present in the baseline is missing from the current artifact
+  (or carries an ``error`` entry) — a broken backend must not slip
+  through by vanishing from the JSON;
+* a figure's batch-vs-legacy speedup drops below ``--min-speedup``
+  (default 1.0x: the batch backend must never be slower than legacy);
+* a figure's batch-vs-legacy speedup regresses more than
+  ``--max-regression`` (default 25%) relative to the baseline;
+* the fast backend (when recorded) falls below ``--min-speedup`` or
+  regresses more than ``--max-regression`` against a baseline that also
+  recorded it.
+
+Figures whose current legacy time is under ``--min-seconds`` (default
+0.05 s, e.g. fig22 at smoke scales) are reported but not gated — at
+millisecond scale the speedup ratio is timer noise.
+
+Override knobs (documented in README):
+
+* ``BENCH_REGRESSION_SKIP=1`` turns the gate into a report-only pass
+  (exit 0 regardless), for runs on known-noisy hardware;
+* ``--max-regression`` / ``--min-speedup`` / ``--min-seconds`` tune the
+  thresholds per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List
+
+
+def _load(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check(
+    baseline: Dict,
+    current: Dict,
+    max_regression: float = 0.25,
+    min_speedup: float = 1.0,
+    min_seconds: float = 0.05,
+) -> List[str]:
+    """Return the list of violations (empty when the gate passes)."""
+    violations: List[str] = []
+    base_figs = baseline.get("figures", {})
+    cur_figs = current.get("figures", {})
+    for name, base in base_figs.items():
+        cur = cur_figs.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current artifact")
+            continue
+        if "error" in cur:
+            violations.append(f"{name}: current run errored: {cur['error']}")
+            continue
+        if float(cur.get("legacy", 0.0)) < min_seconds:
+            print(
+                f"  {name}: legacy {cur.get('legacy', 0.0):.3f}s < "
+                f"{min_seconds:.2f}s, too small to gate (informational only)"
+            )
+            continue
+        for key, label in (("speedup", "batch"), ("speedup_fast", "fast")):
+            cur_speedup = cur.get(key)
+            if cur_speedup is None:
+                if key == "speedup":
+                    violations.append(f"{name}: no batch speedup recorded")
+                continue
+            cur_speedup = float(cur_speedup)
+            parts = [f"{name}/{label}: {cur_speedup:.2f}x"]
+            if cur_speedup < min_speedup:
+                violations.append(
+                    f"{name}: {label} speedup {cur_speedup:.2f}x below the "
+                    f"{min_speedup:.2f}x floor"
+                )
+            base_speedup = base.get(key)
+            if base_speedup is not None:
+                floor = float(base_speedup) * (1.0 - max_regression)
+                parts.append(
+                    f"(baseline {float(base_speedup):.2f}x, floor {floor:.2f}x)"
+                )
+                if cur_speedup < floor:
+                    violations.append(
+                        f"{name}: {label} speedup {cur_speedup:.2f}x regressed "
+                        f">{max_regression:.0%} vs baseline "
+                        f"{float(base_speedup):.2f}x"
+                    )
+            print("  " + " ".join(parts))
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_PR3.json",
+        help="committed baseline artifact (default: BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--current", required=True, help="artifact produced by this run"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="absolute speedup floor for every gated figure (default 1.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="skip figures whose legacy time is below this (timer noise)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    print(f"perf gate: {args.current} vs baseline {args.baseline}")
+    violations = check(
+        baseline,
+        current,
+        max_regression=args.max_regression,
+        min_speedup=args.min_speedup,
+        min_seconds=args.min_seconds,
+    )
+    if not violations:
+        print("perf gate: OK")
+        return 0
+    print("perf gate: FAILED")
+    for v in violations:
+        print(f"  - {v}")
+    if os.environ.get("BENCH_REGRESSION_SKIP") == "1":
+        print("BENCH_REGRESSION_SKIP=1: reporting only, not failing the run")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ more than accurate enough).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 from scipy import signal as sp_signal
@@ -137,6 +137,8 @@ def apply_channel_batch(
     fir_rows: Sequence[np.ndarray],
     fir_lengths: Sequence[int],
     output_lengths: Sequence[int],
+    shared_length: bool = False,
+    workers: int | None = None,
 ) -> List[np.ndarray]:
     """Batched tail of :func:`apply_channel`: ``fftconvolve`` + slice/pad.
 
@@ -145,10 +147,19 @@ def apply_channel_batch(
     ``next_fast_len`` transform size the scalar path picks for that
     FIR length, so outputs are bit-identical.  The waveform spectrum
     is computed once per distinct transform length.
+
+    ``shared_length=True`` (the fast backend) pads every row to one
+    shared 5-smooth transform length instead of the per-row legacy
+    sizes — one stacked FFT pair, one waveform spectrum, optionally
+    threaded with ``workers``.  Each row still carries its exact linear
+    convolution (zero padding cannot alias it), but rounding may differ
+    from the per-row transforms, so this flag is reserved for the
+    non-parity backend.
     """
     cached = wave if isinstance(wave, CachedWaveform) else CachedWaveform(wave)
     fulls = [cached.size + int(n) - 1 for n in fir_lengths]
     out: List[np.ndarray] = [None] * len(fir_rows)  # type: ignore[list-item]
+    fft_kwargs = {} if workers is None else {"workers": workers}
 
     def _materialise(idx: int) -> np.ndarray:
         row = fir_rows[idx]
@@ -158,6 +169,7 @@ def apply_channel_batch(
         return np.asarray(row, dtype=float)[:n_fir]
 
     groups: Dict[int, List[int]] = {}
+    fft_rows: List[int] = []
     for idx, full in enumerate(fulls):
         if cached.size == 1 or int(fir_lengths[idx]) == 1:
             # fftconvolve drops length-1 axes and multiplies directly.
@@ -167,7 +179,12 @@ def apply_channel_batch(
                 body = np.pad(body, (0, n_out - body.size))
             out[idx] = body
             continue
-        groups.setdefault(next_fast_len(full, True), []).append(idx)
+        fft_rows.append(idx)
+    if shared_length and fft_rows:
+        groups[next_fast_len(max(fulls[i] for i in fft_rows), True)] = fft_rows
+    else:
+        for idx in fft_rows:
+            groups.setdefault(next_fast_len(fulls[idx], True), []).append(idx)
     for nf, rows in groups.items():
         stacked = np.zeros((len(rows), nf))
         for k, idx in enumerate(rows):
@@ -179,12 +196,12 @@ def apply_channel_batch(
                 render_taps_positions(row[0], row[1], n_fir, out=stacked[k])
             else:
                 stacked[k, :n_fir] = row[:n_fir]
-        spec = rfft(stacked, nf, axis=-1)
+        spec = rfft(stacked, nf, axis=-1, **fft_kwargs)
         # fftconvolve computes fft(wave) * fft(fir) in that operand
         # order; complex multiplication is *not* bitwise-commutative
         # under FMA, so preserve it (out= aliasing x2 is fine).
         np.multiply(cached.fft(nf), spec, out=spec)
-        conv = irfft(spec, nf, axis=-1)
+        conv = irfft(spec, nf, axis=-1, **fft_kwargs)
         for k, idx in enumerate(rows):
             n_out = int(output_lengths[idx])
             body = conv[k, : fulls[idx]][:n_out]

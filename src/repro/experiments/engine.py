@@ -50,6 +50,13 @@ import numpy as np
 #: Default campaign seed (the paper's publication year, as in the seed repo).
 DEFAULT_BASE_SEED = 2023
 
+#: The waveform-backend registry every engine plugs into.  ``legacy``
+#: is the per-exchange reference, ``batch`` the bit-identical batched
+#: pipeline, ``fast`` the non-parity engine validated statistically
+#: (tests/test_fast_equivalence.py).  Experiments declare which of
+#: these they support via ``ExperimentSpec.backends``.
+WAVEFORM_BACKENDS: Tuple[str, ...] = ("legacy", "batch", "fast")
+
 #: Canonical experiment order: defines both registry import order and the
 #: ``SeedSequence.spawn`` fan-out, so it must only ever be appended to.
 CANONICAL_ORDER: Tuple[str, ...] = (
@@ -117,6 +124,10 @@ class ExperimentSpec:
         Declared scenario variants; each gets its own seeded substream.
     sweepable:
         Parameter names a campaign-level ``sweep`` may vary.
+    backends:
+        Waveform backends the entry accepts (capability flags from
+        :data:`WAVEFORM_BACKENDS`); empty for experiments without a
+        waveform backend switch (e.g. fig6 or the tables).
     """
 
     name: str
@@ -132,6 +143,7 @@ class ExperimentSpec:
     #: ``chunk=(index, total)`` kwarg and the module provides a
     #: ``merge_chunks(raws) -> ExperimentOutput`` function.
     chunkable: bool = False
+    backends: Tuple[str, ...] = ()
 
     def variant(self, name: str) -> Variant:
         for v in self.variants:
@@ -227,10 +239,14 @@ def register(
     variants: Optional[Sequence[Variant]] = None,
     sweepable: Iterable[str] = (),
     chunkable: bool = False,
+    backends: Iterable[str] = (),
 ) -> Callable:
     """Decorator: register ``func`` as the campaign entry for ``name``."""
 
     def deco(func: Callable) -> Callable:
+        unknown = [b for b in backends if b not in WAVEFORM_BACKENDS]
+        if unknown:
+            raise ValueError(f"{name}: unknown backend capability {unknown}")
         spec = ExperimentSpec(
             name=name,
             title=title,
@@ -242,6 +258,7 @@ def register(
             variants=tuple(variants) if variants else (Variant("default"),),
             sweepable=frozenset(sweepable),
             chunkable=chunkable,
+            backends=tuple(backends),
         )
         _REGISTRY[name] = spec
         func.spec = spec
@@ -281,10 +298,25 @@ def scaled(count: int, scale: float, minimum: int = 1) -> int:
     return max(minimum, int(round(count * scale)))
 
 
-def check_backend(backend: str) -> str:
-    """Validate a waveform-backend name (shared by the figure entries)."""
-    if backend not in ("batch", "legacy"):
-        raise ValueError(f"unknown backend {backend!r} (use 'batch' or 'legacy')")
+def check_backend(backend: str, spec: Optional[str] = None) -> str:
+    """Validate a waveform-backend name (shared by the figure entries).
+
+    With ``spec`` (an experiment name), additionally checks the
+    experiment's declared capability flags, so e.g. ``fast`` on an
+    experiment without a fast path fails loudly instead of silently
+    running another engine.
+    """
+    if backend not in WAVEFORM_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (choose from {', '.join(WAVEFORM_BACKENDS)})"
+        )
+    if spec is not None:
+        supported = get_spec(spec).backends
+        if backend not in supported:
+            raise ValueError(
+                f"experiment {spec!r} does not support backend {backend!r} "
+                f"(supported: {', '.join(supported) or 'none'})"
+            )
     return backend
 
 
@@ -382,12 +414,15 @@ def _plan_jobs(
     names: Sequence[str],
     sweep: Optional[Mapping[str, Sequence[Any]]],
     trial_chunks: int = 1,
+    backend: Optional[str] = None,
 ) -> List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]]:
     """(experiment, variant, params, chunk) jobs in deterministic order.
 
     With ``trial_chunks > 1``, chunkable experiments expand into one
     job per chunk (merged back after execution), so a process pool
-    parallelises *trials*, not just whole experiments.
+    parallelises *trials*, not just whole experiments.  A campaign
+    ``backend`` is injected into every job's params (sweep-provided
+    backend values win within their variants).
     """
     jobs: List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]] = []
     for name in names:
@@ -397,13 +432,14 @@ def _plan_jobs(
         }
         variants = sweep_variants(applicable) if applicable else spec.variants
         for variant in variants:
+            params = dict(variant.params)
+            if backend is not None:
+                params.setdefault("backend", backend)
             if trial_chunks > 1 and spec.chunkable:
                 for index in range(trial_chunks):
-                    jobs.append(
-                        (name, variant.name, dict(variant.params), (index, trial_chunks))
-                    )
+                    jobs.append((name, variant.name, params, (index, trial_chunks)))
             else:
-                jobs.append((name, variant.name, dict(variant.params), None))
+                jobs.append((name, variant.name, params, None))
     return jobs
 
 
@@ -538,6 +574,7 @@ def run_campaign(
     scale: float = 1.0,
     sweep: Optional[Mapping[str, Sequence[Any]]] = None,
     trial_chunks: int = 1,
+    backend: Optional[str] = None,
     progress: Optional[Callable[[ExperimentResult], None]] = None,
 ) -> List[ExperimentResult]:
     """Run the selected experiments (all by default), serial or parallel.
@@ -549,7 +586,9 @@ def run_campaign(
     on its own spawned substream) and merges them after execution:
     ``--workers`` then parallelises inside an experiment, and the
     artifact depends only on ``(base_seed, trial_chunks)`` — never on
-    the worker count.
+    the worker count.  ``backend`` selects the waveform backend for the
+    whole campaign; every selected experiment must declare it in its
+    capability flags.
     """
     load_registry()
     selected = list(names) if names else [n for n in CANONICAL_ORDER if n in _REGISTRY]
@@ -558,7 +597,10 @@ def run_campaign(
         raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
     if trial_chunks < 1:
         raise ValueError("trial_chunks must be >= 1")
-    jobs = _plan_jobs(selected, sweep, trial_chunks)
+    if backend is not None:
+        for name in selected:
+            check_backend(backend, name)
+    jobs = _plan_jobs(selected, sweep, trial_chunks, backend)
 
     def _collect(raw_results: Iterable[ExperimentResult]) -> List[ExperimentResult]:
         merged: List[ExperimentResult] = []
@@ -625,15 +667,25 @@ def campaign_to_dict(
     *,
     base_seed: int = DEFAULT_BASE_SEED,
     include_timing: bool = False,
+    trial_chunks: int = 1,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The machine-readable campaign artifact.
 
     Timing is excluded by default so that runs with the same seed are
-    byte-identical no matter how many workers produced them.
+    byte-identical no matter how many workers produced them.  The
+    ``provenance`` block pins everything the numbers depend on beyond
+    the base seed: the trial-chunk count (a chunked run is a different,
+    equally valid seeding scheme than the unchunked run of the same
+    experiment) and the campaign-level waveform backend.
     """
     return {
-        "schema": "repro-campaign/1",
+        "schema": "repro-campaign/2",
         "base_seed": base_seed,
+        "provenance": {
+            "trial_chunks": int(trial_chunks),
+            "backend": backend,
+        },
         "experiments": [r.to_dict(include_timing) for r in results],
     }
 
@@ -643,10 +695,16 @@ def campaign_to_json(
     *,
     base_seed: int = DEFAULT_BASE_SEED,
     include_timing: bool = False,
+    trial_chunks: int = 1,
+    backend: Optional[str] = None,
 ) -> str:
     return json.dumps(
         campaign_to_dict(
-            results, base_seed=base_seed, include_timing=include_timing
+            results,
+            base_seed=base_seed,
+            include_timing=include_timing,
+            trial_chunks=trial_chunks,
+            backend=backend,
         ),
         indent=2,
         sort_keys=True,
@@ -659,11 +717,17 @@ def write_campaign_json(
     *,
     base_seed: int = DEFAULT_BASE_SEED,
     include_timing: bool = False,
+    trial_chunks: int = 1,
+    backend: Optional[str] = None,
 ) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(
             campaign_to_json(
-                results, base_seed=base_seed, include_timing=include_timing
+                results,
+                base_seed=base_seed,
+                include_timing=include_timing,
+                trial_chunks=trial_chunks,
+                backend=backend,
             )
         )
         fh.write("\n")

@@ -14,7 +14,7 @@ over all divers excluding the leader. Four sweeps:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -65,12 +65,12 @@ def run_ranging_sweep(
     backend: str = "batch",
 ) -> List[RangingSweepResult]:
     """Fig. 11a: ranging error distribution per separation."""
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig11")
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for distance in distances_m:
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
         errors: List[float] = []
         for _ in range(num_exchanges):
             # Sessions vary slightly in geometry (the paper re-submerged
@@ -148,11 +148,11 @@ def _ablation_errors_legacy(
 
 
 def _ablation_errors_batch(
-    rng, preamble, config, distance, num_exchanges, depth_m, fs
+    rng, preamble, config, distance, num_exchanges, depth_m, fs, fast=False
 ) -> Dict[str, List[float]]:
     from repro.constants import MIC_SEPARATION_M
 
-    renderer = BatchExchangeRenderer(preamble)
+    renderer = BatchExchangeRenderer(preamble, fast=fast)
     for _ in range(num_exchanges):
         tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
         rx = np.array(
@@ -162,7 +162,10 @@ def _ablation_errors_batch(
     receptions = renderer.render()
     sound_speed = DOCK.sound_speed(depth_m)
     detections = detect_preamble_batch(
-        [r.mic1 for r in receptions], preamble, [config.detection] * len(receptions)
+        [r.mic1 for r in receptions],
+        preamble,
+        [config.detection] * len(receptions),
+        fast=fast,
     )
     hit = [i for i, d in enumerate(detections) if d is not None]
     cir1 = cir2 = None
@@ -220,14 +223,27 @@ def run_mic_ablation(
     Runs the same received streams through the joint estimator and the
     single-channel earliest-peak estimator, so the comparison is paired.
     """
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig11")
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     fs = preamble.config.ofdm.sample_rate
-    collect = _ablation_errors_batch if backend == "batch" else _ablation_errors_legacy
     out = []
     for distance in distances_m:
-        errs = collect(rng, preamble, config, distance, num_exchanges, depth_m, fs)
+        if backend == "legacy":
+            errs = _ablation_errors_legacy(
+                rng, preamble, config, distance, num_exchanges, depth_m, fs
+            )
+        else:
+            errs = _ablation_errors_batch(
+                rng,
+                preamble,
+                config,
+                distance,
+                num_exchanges,
+                depth_m,
+                fs,
+                fast=backend == "fast",
+            )
         out.append(
             MicAblationResult(
                 distance_m=float(distance),
@@ -334,6 +350,7 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     cost="heavy",
     sweepable=("num_exchanges", "backend"),
     chunkable=True,
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(
     rng,

@@ -22,16 +22,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.environment import BOATHOUSE
-from repro.channel.noise import make_noise
+from repro.channel.noise import make_noise, spiky_noise, synth_noise_rows
+from repro.channel.render import CachedWaveform, apply_channel_batch
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
-from repro.ranging.baselines import beepbeep_arrival, cat_fmcw_delay
+from repro.ranging.baselines import (
+    CAT_POWER_THRESHOLD_DB,
+    beepbeep_arrival,
+    beepbeep_pick,
+    cat_fmcw_delay,
+)
 from repro.ranging.batch import detect_preamble_batch, power_threshold_hits
 from repro.ranging.detector import DetectionConfig, detect_power_threshold, detect_preamble
+from repro.signals.batchcorr import (
+    CachedTemplate,
+    fft_workers,
+    normalized_cross_correlation_fused,
+)
 from repro.signals.chirp import linear_chirp
 from repro.signals.fmcw import FmcwConfig
 from repro.signals.preamble import make_preamble
-from repro.simulate.batch_exchange import BatchExchangeRenderer, BatchOneWay
+from repro.simulate.batch_exchange import (
+    BatchExchangeRenderer,
+    BatchOneWay,
+    spawn_substream,
+)
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
 
 #: Paper-reported mean 1D errors (m), read off Fig. 12b.
@@ -60,7 +75,8 @@ def _detection_counts(
     backend: str,
 ) -> Dict[str, object]:
     """Raw FP/FN counts for both detectors (chunk-mergeable)."""
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig12")
+    fast = backend == "fast"
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
     config = ExchangeConfig(environment=BOATHOUSE)
@@ -68,8 +84,8 @@ def _detection_counts(
 
     # Pre-render signal-present and noise-only streams (shared across
     # thresholds so the comparison is paired).
-    if backend == "batch":
-        renderer = BatchExchangeRenderer(preamble)
+    if backend != "legacy":
+        renderer = BatchExchangeRenderer(preamble, fast=fast)
         for _ in range(num_trials):
             tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
             rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
@@ -84,16 +100,34 @@ def _detection_counts(
                 preamble, tx, rx, config, rng
             )
             present.append((mic1, true_idx))
-    absent = [
-        make_noise(int(0.6 * fs), BOATHOUSE.noise, rng, fs) for _ in range(num_trials)
-    ]
+    if fast:
+        noise_rng = spawn_substream(rng)
+        length = int(0.6 * fs)
+        rows = synth_noise_rows(
+            [length] * num_trials,
+            [BOATHOUSE.noise.ambient_rms] * num_trials,
+            [0.0] * num_trials,
+            noise_rng,
+            fs,
+            workers=fft_workers(),
+        )
+        absent = [
+            rows[i] + spiky_noise(length, BOATHOUSE.noise, noise_rng, fs)
+            for i in range(num_trials)
+        ]
+    else:
+        absent = [
+            make_noise(int(0.6 * fs), BOATHOUSE.noise, rng, fs)
+            for _ in range(num_trials)
+        ]
 
-    if backend == "batch":
+    if backend != "legacy":
         n_present = len(present)
         detections = detect_preamble_batch(
             [stream for stream, _ in present] + absent,
             preamble,
             [DetectionConfig()] * (n_present + len(absent)),
+            fast=fast,
         )
         ours_fn = sum(
             1
@@ -203,7 +237,7 @@ def _baseline_errors(
     backend: str,
 ) -> Dict[str, List[Tuple[float, List[float]]]]:
     """Raw per-algorithm, per-distance errors (chunk-mergeable)."""
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig12")
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
     duration_s = len(preamble) / fs
@@ -218,12 +252,24 @@ def _baseline_errors(
     from repro.channel.render import apply_channel
     from repro.simulate.waveform_sim import _channel_fluctuation
 
+    # Guard long enough that the power detector's noise window (first
+    # ~4k samples) sees only noise; tail leaves room for the dechirp.
+    guard = int(0.12 * fs)
+    tail = fmcw_cfg.num_samples
+    margin = 2_048
+    fast = backend == "fast"
+    chirp_wave = CachedWaveform(chirp) if fast else None
+    chirp_template = CachedTemplate(chirp) if fast else None
+
     for distance in distances_m:
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        noise_rng = spawn_substream(rng) if fast else None
+        trial_taps = []
+        trial_true = []
+        nominal_speed = BOATHOUSE.sound_speed(depth_m)
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
             rx = np.array([distance, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
-            nominal_speed = BOATHOUSE.sound_speed(depth_m)
             true_d = float(np.linalg.norm(rx - tx))
 
             # Ours: the standard pipeline (batched or per exchange).
@@ -249,10 +295,11 @@ def _baseline_errors(
                 bottom_coeff=BOATHOUSE.bottom_coeff,
             )
             taps = _channel_fluctuation(taps, true_d, rng, sample_rate=fs)
-            # Guard long enough that the power detector's noise window
-            # (first ~4k samples) sees only noise.
-            guard = int(0.12 * fs)
-            tail = fmcw_cfg.num_samples  # room for the dechirp window
+            if fast:
+                # Defer to the batched baseline pipeline below.
+                trial_taps.append(taps)
+                trial_true.append(true_d)
+                continue
             for name, wave in (("beepbeep", chirp), ("cat", chirp)):
                 body = apply_channel(wave, taps, fs)
                 stream = np.concatenate([np.zeros(guard), body, np.zeros(tail)])
@@ -265,14 +312,12 @@ def _baseline_errors(
                         est = (arrival - guard) / fs * nominal_speed
                         errors[name][distance].append(est - true_d)
                 else:
-                    # CAT gets the baseline's in-air threshold (3 dB) —
-                    # generous for it underwater, as in the paper's
-                    # "fair comparison" framing.
-                    coarse = detect_power_threshold(stream, threshold_db=3.0)
+                    coarse = detect_power_threshold(
+                        stream, threshold_db=CAT_POWER_THRESHOLD_DB
+                    )
                     if coarse is None:
                         errors[name][distance].append(np.nan)
                         continue
-                    margin = 2_048
                     delay = cat_fmcw_delay(stream, coarse, fmcw_cfg, margin_samples=margin)
                     if delay is None:
                         errors[name][distance].append(np.nan)
@@ -280,6 +325,27 @@ def _baseline_errors(
                         anchor = max(coarse - margin, 0)
                         est = ((anchor - guard) / fs + delay) * nominal_speed
                         errors[name][distance].append(est - true_d)
+        if fast and trial_taps:
+            beep, cat = _fast_baseline_trials(
+                trial_taps,
+                chirp_wave,
+                chirp_template,
+                fmcw_cfg,
+                noise_rng,
+                fs,
+                guard,
+                tail,
+                margin,
+            )
+            for true_d, arrival, cat_est in zip(trial_true, beep, cat):
+                errors["beepbeep"][distance].append(
+                    np.nan
+                    if arrival is None
+                    else (arrival - guard) / fs * nominal_speed - true_d
+                )
+                errors["cat"][distance].append(
+                    np.nan if cat_est is None else cat_est * nominal_speed - true_d
+                )
         if sim is not None:
             errors["ours"][distance] = [m.error_m for m in sim.run()]
 
@@ -287,6 +353,94 @@ def _baseline_errors(
         name: [(float(d), [float(e) for e in errs]) for d, errs in by_distance.items()]
         for name, by_distance in errors.items()
     }
+
+
+def _fast_baseline_trials(
+    trial_taps,
+    chirp_wave: CachedWaveform,
+    chirp_template: CachedTemplate,
+    fmcw_cfg: FmcwConfig,
+    noise_rng: np.random.Generator,
+    fs: float,
+    guard: int,
+    tail: int,
+    margin: int,
+) -> Tuple[List[Optional[int]], List[Optional[float]]]:
+    """Batched BeepBeep/CAT evaluation of one distance's trials.
+
+    Fast-mode counterpart of the per-trial baseline loop: the shared
+    chirp body is convolved once per trial in one grouped transform
+    (legacy computes the identical body twice, once per baseline), the
+    per-baseline noise is synthesised frequency-domain from the
+    dedicated substream, and the BeepBeep chirp correlations run as one
+    fused-NCC batch.  CAT keeps its per-trial dechirp (one small FFT).
+
+    Returns (BeepBeep arrival index | None, CAT delay-from-guard in
+    seconds | None) per trial.
+    """
+    workers = fft_workers()
+    positions = []
+    amplitudes = []
+    fir_lengths = []
+    output_lengths = []
+    for taps in trial_taps:
+        delays = np.array([t.delay_s for t in taps])
+        amps = np.array([t.amplitude for t in taps])
+        fir_len = int(np.ceil(float(delays.max()) * fs)) + 2
+        positions.append(delays * fs)
+        amplitudes.append(amps)
+        fir_lengths.append(fir_len)
+        output_lengths.append(chirp_wave.size + fir_len)
+    bodies = apply_channel_batch(
+        chirp_wave,
+        list(zip(positions, amplitudes)),
+        fir_lengths,
+        output_lengths,
+        shared_length=True,
+        workers=workers,
+    )
+    # Two independent noise realisations per trial (BeepBeep, then CAT),
+    # matching the legacy loop's separate streams.
+    lengths = [guard + body.size + tail for body in bodies]
+    ambient = BOATHOUSE.noise.ambient_rms
+    noise = synth_noise_rows(
+        [n for n in lengths for _ in range(2)],
+        [ambient] * (2 * len(bodies)),
+        [0.0] * (2 * len(bodies)),
+        noise_rng,
+        fs,
+        workers=workers,
+    )
+    beep_streams = []
+    cat_streams = []
+    for i, body in enumerate(bodies):
+        n = lengths[i]
+        for j, sink in enumerate((beep_streams, cat_streams)):
+            stream = noise[2 * i + j, :n].copy()
+            stream += spiky_noise(n, BOATHOUSE.noise, noise_rng, fs)
+            stream[guard : guard + body.size] += body
+            sink.append(stream)
+
+    beep: List[Optional[int]] = [
+        beepbeep_pick(ncc)
+        for ncc in normalized_cross_correlation_fused(
+            beep_streams, chirp_template, workers=workers
+        )
+    ]
+
+    cat: List[Optional[float]] = []
+    for stream in cat_streams:
+        coarse = power_threshold_hits(stream, (CAT_POWER_THRESHOLD_DB,))[0]
+        if coarse is None:
+            cat.append(None)
+            continue
+        delay = cat_fmcw_delay(stream, coarse, fmcw_cfg, margin_samples=margin)
+        if delay is None:
+            cat.append(None)
+        else:
+            anchor = max(coarse - margin, 0)
+            cat.append((anchor - guard) / fs + delay)
+    return beep, cat
 
 
 def run_baseline_ranging(
@@ -357,11 +511,18 @@ def _summarize_raw(raw: Dict) -> engine.ExperimentOutput:
             for r in detection
         },
         "mean_error_m": {},
+        "median_error_m": {},
     }
     for r in ranging:
         measured["mean_error_m"].setdefault(r.algorithm, {})[
             int(r.distance_m)
         ] = r.summary.mean
+        # The median rides outliers far better than the mean on the
+        # spiky boathouse channel; it is the quantile the fast-mode
+        # equivalence contract gates (see fast_contract.TOLERANCES).
+        measured["median_error_m"].setdefault(r.algorithm, {})[
+            int(r.distance_m)
+        ] = r.summary.median
     report = format_detection(detection) + "\n" + format_baseline_ranging(ranging)
     return engine.ExperimentOutput(measured=measured, report=report, raw=raw)
 
@@ -401,6 +562,7 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     cost="heavy",
     sweepable=("num_trials", "num_exchanges", "backend"),
     chunkable=True,
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(
     rng,

@@ -49,12 +49,12 @@ def run_depth_sweep(
     backend: str = "batch",
 ) -> List[DepthRangingResult]:
     """Fig. 13a: ranging error vs depth at 18 m separation."""
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig13")
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for depth in depths_m:
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
         errors: List[float] = []
         for _ in range(num_exchanges):
             # The rope lets the phone sway slightly (paper setup).
@@ -218,6 +218,7 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     cost="heavy",
     sweepable=("num_exchanges", "backend"),
     chunkable=True,
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(
     rng,

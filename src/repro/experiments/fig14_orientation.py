@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.environment import DOCK
-from repro.devices.models import GOOGLE_PIXEL, ONEPLUS, SAMSUNG_S9, DeviceModel
+from repro.devices.models import GOOGLE_PIXEL, ONEPLUS, SAMSUNG_S9
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.signals.preamble import make_preamble
@@ -78,7 +78,7 @@ def _orientation_errors(
     depth_m: float,
     backend: str,
 ) -> List[Tuple[str, List[float]]]:
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig14")
     preamble = make_preamble()
     out = []
     for label, az_deg, pol_deg in cases:
@@ -90,7 +90,7 @@ def _orientation_errors(
             tx_azimuth_rad=np.deg2rad(az_deg),
             tx_polar_rad=np.deg2rad(pol_deg),
         )
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
         errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, case_depth + rng.uniform(-0.1, 0.1)])
@@ -143,14 +143,14 @@ def _model_pair_errors(
     depth_m: float,
     backend: str,
 ) -> List[Tuple[str, List[float]]]:
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig14")
     preamble = make_preamble()
     out = []
     for name, tx_model, rx_model in MODEL_PAIRS:
         config = ExchangeConfig(
             environment=DOCK, tx_model=tx_model, rx_model=rx_model
         )
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
         errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
@@ -224,6 +224,7 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     cost="heavy",
     sweepable=("num_exchanges", "backend"),
     chunkable=True,
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(
     rng,

@@ -52,7 +52,7 @@ def run_motion_tracking(
     ``time_slice=(offset, count)`` restricts each trajectory to a
     contiguous run of time steps (used by campaign trial chunking).
     """
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig15")
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     static = np.array([0.0, 0.0, depth_m])
@@ -68,7 +68,7 @@ def run_motion_tracking(
         if time_slice is not None:
             offset, count = time_slice
             times = times[offset : offset + count]
-        sim = BatchOneWay(preamble) if backend == "batch" else None
+        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
         measurements = []
         for t in times:
             pos = trajectory.position(float(t))
@@ -156,6 +156,7 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     cost="heavy",
     sweepable=("duration_s", "backend"),
     chunkable=True,
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(
     rng,

@@ -11,13 +11,13 @@ connected 0.9 / 3.2 m) or one node (4-device network: 0.8 / 3.2 m).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, percentile_band, summarize_errors
-from repro.simulate.network_sim import NetworkSimulator, RangingErrorModel
+from repro.simulate.network_sim import NetworkSimulator
 from repro.simulate.scenario import testbed_scenario
 
 PAPER_OCCLUSION = {"median": 1.4, "p95": 3.4}
@@ -128,8 +128,6 @@ def run_removal_study(
 
 def _subscenario(scenario, keep: List[int]):
     """A scenario restricted to the kept devices (re-numbered 0..k-1)."""
-    from dataclasses import replace as dc_replace
-
     from repro.simulate.scenario import Scenario
 
     devices = []

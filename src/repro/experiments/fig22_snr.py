@@ -19,6 +19,7 @@ from repro.channel.multipath import image_method_tap_arrays, image_method_taps
 from repro.channel.noise import make_noise
 from repro.channel.render import CachedWaveform, apply_channel, apply_channel_batch
 from repro.experiments import engine
+from repro.signals.batchcorr import fft_workers
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
 
 #: Paper: rough SNR ranges (dB) visible in Fig. 22 per distance.
@@ -49,9 +50,11 @@ def run_snr_measurement(
 
     ``backend="batch"`` renders every distance's channel in one grouped
     convolution pass (identical samples; the noise draws keep the
-    legacy per-distance order).
+    legacy per-distance order).  ``backend="fast"`` additionally shares
+    one padded transform length and threads the stacked FFTs; the noise
+    draws stay on the main stream (this figure's noise cost is trivial).
     """
-    engine.check_backend(backend)
+    engine.check_backend(backend, "fig22")
     ofdm = OfdmConfig()
     bins = band_bins(ofdm)
     base = ofdm_symbol_from_zc(ofdm, add_cp=False)
@@ -64,7 +67,7 @@ def run_snr_measurement(
 
     received_by_distance: List[np.ndarray] = []
     first_arrivals: List[int] = []
-    if backend == "batch":
+    if backend != "legacy":
         specs = []
         for distance in distances_m:
             tx = np.array([0.0, 0.0, depth_m])
@@ -81,11 +84,16 @@ def run_snr_measurement(
             length = wave.size + int(np.ceil(float(delays.max()) * fs)) + 2
             specs.append((delays, amps, length))
             first_arrivals.append(int(delays[0] * fs))
+        fast = backend == "fast"
         bodies = apply_channel_batch(
             CachedWaveform(wave),
             [(delays * fs, amps) for delays, amps, _ in specs],
+            # Fast mode right-sizes the FIR to the tap span; the parity
+            # backend keeps the legacy over-length transform sizes.
+            [(length - wave.size if fast else length) for _, _, length in specs],
             [length for _, _, length in specs],
-            [length for _, _, length in specs],
+            shared_length=fast,
+            workers=fft_workers() if fast else None,
         )
         for body in bodies:
             received_by_distance.append(
@@ -154,6 +162,7 @@ def format_snr(profiles: List[SnrProfile]) -> str:
     paper={"snr_range_db": PAPER_SNR_RANGE_DB},
     cost="cheap",
     sweepable=("num_symbols", "backend"),
+    backends=engine.WAVEFORM_BACKENDS,
 )
 def campaign(rng, *, scale: float = 1.0, num_symbols: int = 8, backend: str = "batch"):
     """SNR profiles at 10/20/28 m (scale bounds the symbol count)."""

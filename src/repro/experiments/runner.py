@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall times in the JSON artifact (breaks byte-identity)",
     )
     parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        help=(
+            "waveform backend for the whole campaign (legacy | batch | fast); "
+            "every selected experiment must support it"
+        ),
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="KEY=V1,V2",
@@ -146,6 +154,14 @@ def main(argv=None) -> int:
         print(f"available: {', '.join(experiments)}")
         return 2
 
+    if args.backend is not None:
+        try:
+            for name in selected:
+                engine.check_backend(args.backend, name)
+        except ValueError as exc:
+            print(exc)
+            return 2
+
     try:
         sweep = _parse_sweep(args.sweep)
     except ValueError as exc:
@@ -174,12 +190,18 @@ def main(argv=None) -> int:
         scale=args.scale,
         sweep=sweep,
         trial_chunks=args.trial_chunks,
+        backend=args.backend,
         progress=show,
     )
 
     if args.json:
         write_campaign_json(
-            args.json, results, base_seed=args.seed, include_timing=args.timing
+            args.json,
+            results,
+            base_seed=args.seed,
+            include_timing=args.timing,
+            trial_chunks=args.trial_chunks,
+            backend=args.backend,
         )
         print(f"\nwrote {len(results)} experiment result(s) to {args.json}")
 

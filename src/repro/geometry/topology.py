@@ -59,7 +59,11 @@ def random_scenario_positions(
         direction /= np.linalg.norm(direction)
         radius = rng.uniform(user1_min_range, user1_max_range)
         candidate = positions[0] + radius * direction
-        if 0 <= candidate[2] <= depth_range and abs(candidate[0]) <= half and abs(candidate[1]) <= half:
+        if (
+            0 <= candidate[2] <= depth_range
+            and abs(candidate[0]) <= half
+            and abs(candidate[1]) <= half
+        ):
             positions[1] = candidate
             break
     else:

@@ -21,7 +21,7 @@ coded report airtime, so a single out-of-range diver adds ~0.9 s.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -63,7 +63,9 @@ class SlotSchedule:
         )
 
 
-def assigned_slot_time(device_id: int, delta0_s: float = DELTA0_S, delta1_s: float = DELTA1_S) -> float:
+def assigned_slot_time(
+    device_id: int, delta0_s: float = DELTA0_S, delta1_s: float = DELTA1_S
+) -> float:
     """``T^i_i = Delta_0 + (i - 1) Delta_1`` (leader transmits at 0)."""
     if device_id < 0:
         raise ConfigurationError("device_id must be non-negative")

@@ -19,22 +19,37 @@ import numpy as np
 from repro.signals.correlation import normalized_cross_correlation
 from repro.signals.fmcw import FmcwConfig, estimate_delay
 
+#: Minimum normalised correlation for a BeepBeep arrival.  Shared by
+#: the scalar path below and the batched fast-mode chirp pipeline.
+BEEPBEEP_MIN_SCORE = 0.05
+
+#: CAT's coarse power-detection threshold: the baseline's in-air 3 dB —
+#: generous for it underwater, as in the paper's "fair comparison"
+#: framing.  Shared by the legacy loop and the fast-mode batch.
+CAT_POWER_THRESHOLD_DB = 3.0
+
+
+def beepbeep_pick(ncc: np.ndarray, min_score: float = BEEPBEEP_MIN_SCORE) -> Optional[int]:
+    """BeepBeep's decision on a precomputed correlation array."""
+    best = int(np.argmax(ncc))
+    if ncc[best] < min_score:
+        return None
+    return best
+
 
 def beepbeep_arrival(
     stream: np.ndarray,
     chirp_template: np.ndarray,
-    min_score: float = 0.05,
+    min_score: float = BEEPBEEP_MIN_SCORE,
 ) -> Optional[int]:
     """BeepBeep-style arrival estimate: the tallest correlation peak.
 
     Returns the sample index of the chirp start, or ``None`` when the
     best correlation is below ``min_score``.
     """
-    ncc = normalized_cross_correlation(stream, chirp_template)
-    best = int(np.argmax(ncc))
-    if ncc[best] < min_score:
-        return None
-    return best
+    return beepbeep_pick(
+        normalized_cross_correlation(stream, chirp_template), min_score
+    )
 
 
 def cat_fmcw_delay(

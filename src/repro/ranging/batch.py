@@ -28,6 +28,7 @@ from repro.signals.batchcorr import (
     CachedTemplate,
     local_peak_indices_fast,
     normalized_cross_correlation_batch,
+    normalized_cross_correlation_fused,
     segment_autocorrelation_scores,
 )
 from repro.signals.ofdm import band_bins
@@ -40,12 +41,18 @@ def detect_preamble_batch(
     preamble: Preamble,
     configs: Optional[Sequence[Optional[DetectionConfig]]] = None,
     template: Optional[CachedTemplate] = None,
+    fast: bool = False,
 ) -> List[Optional[Detection]]:
     """Batched :func:`repro.ranging.detector.detect_preamble`.
 
     One NCC pass over all long-enough streams (grouped by transform
     length), then the scalar candidate logic per stream on the
     bit-identical correlation arrays.
+
+    ``fast=True`` swaps in the non-parity kernels: fused-normalisation
+    NCC over one shared transform length and the forced-GEMM candidate
+    gate.  Same candidate logic on last-ulp-different scores — the
+    statistical contract of the fast backend.
     """
     if configs is None:
         configs = [None] * len(streams)
@@ -55,7 +62,11 @@ def detect_preamble_batch(
     results: List[Optional[Detection]] = [None] * len(streams)
     if not eligible:
         return results
-    nccs = normalized_cross_correlation_batch([streams[i] for i in eligible], tmpl)
+    if fast:
+        correlate = normalized_cross_correlation_fused
+    else:
+        correlate = normalized_cross_correlation_batch
+    nccs = correlate([streams[i] for i in eligible], tmpl)
     stride = preamble.config.symbol_stride
     sym_len = preamble.config.ofdm.n_fft
     num_symbols = preamble.config.num_symbols
@@ -70,7 +81,9 @@ def detect_preamble_batch(
         shortlisted = candidates[order]
         window = stride * num_symbols
         valid = [int(s) for s in shortlisted if int(s) + window <= stream.size]
-        scores = segment_autocorrelation_scores(stream, valid, signs, stride, sym_len)
+        scores = segment_autocorrelation_scores(
+            stream, valid, signs, stride, sym_len, force_gemm=fast
+        )
         accepted: List[Detection] = []
         for start, score in zip(valid, scores):
             if score >= cfg.autocorr_threshold:
@@ -231,6 +244,7 @@ class BatchArrivalEstimator:
         preamble: Preamble,
         search_window: int = 512,
         wrap_margin: int = 96,
+        fast: bool = False,
     ):
         from repro.constants import DIRECT_PATH_MARGIN
 
@@ -239,6 +253,7 @@ class BatchArrivalEstimator:
         self.search_window = search_window
         self.wrap_margin = wrap_margin
         self.margin = DIRECT_PATH_MARGIN
+        self.fast = bool(fast)
 
     def estimate_many(
         self,
@@ -250,7 +265,7 @@ class BatchArrivalEstimator:
     ) -> List[Optional[ArrivalEstimate]]:
         sample_rate = self.preamble.config.ofdm.sample_rate
         detections = detect_preamble_batch(
-            streams_mic1, self.preamble, detection_configs, self.template
+            streams_mic1, self.preamble, detection_configs, self.template, fast=self.fast
         )
         results: List[Optional[ArrivalEstimate]] = [None] * len(streams_mic1)
         hit_rows = [i for i, d in enumerate(detections) if d is not None]

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.constants import MIC_SEPARATION_M, SAMPLE_RATE
+from repro.constants import MIC_SEPARATION_M
 from repro.ranging.detector import Detection, DetectionConfig, detect_preamble
 from repro.ranging.estimator import DirectPathEstimate, estimate_direct_path
 from repro.signals.channel_est import channel_impulse_response, ls_channel_estimate

@@ -29,10 +29,44 @@ length, so most rows share a group and one stacked FFT covers them.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.fft import next_fast_len, rfft, irfft
+
+
+def fft_workers() -> int:
+    """Worker count for multi-threaded stacked transforms (fast mode).
+
+    The parity kernels never thread (a single pocketfft worker is the
+    reference); the fast backend threads per-row transforms, which are
+    deterministic per row regardless of the worker count.  Override
+    with ``REPRO_FFT_WORKERS``; defaults to the machine's core count —
+    except inside a child process (a ``--workers N`` campaign pool),
+    where it defaults to 1 so N processes don't each spawn a full
+    complement of FFT threads and thrash the machine.
+    """
+    env = os.environ.get("REPRO_FFT_WORKERS")
+    if env:
+        return max(1, int(env))
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        return 1
+    return max(1, os.cpu_count() or 1)
+
+
+def shared_fast_len(full_sizes: Sequence[int]) -> int:
+    """One 5-smooth transform length covering every row of a batch.
+
+    The fast backend trades the parity backend's per-row legacy sizes
+    for a single padded length: every row shares one stacked transform
+    and one cached template spectrum.  Zero padding a linear
+    convolution cannot alias it, so each row's first ``full`` samples
+    still hold that row's exact linear convolution.
+    """
+    return next_fast_len(int(max(full_sizes)), True)
 
 
 def grouped_by_fast_len(full_sizes: Sequence[int]) -> Dict[int, List[int]]:
@@ -172,6 +206,74 @@ def normalized_cross_correlation_batch(
         for k, idx in enumerate(rows):
             n = streams[idx].size
             _finish(idx, corr[k, start : start + n], energy[k, start : start + n])
+    return out  # type: ignore[return-value]
+
+
+def normalized_cross_correlation_fused(
+    streams: Sequence[np.ndarray],
+    template: CachedTemplate | np.ndarray,
+    workers: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Fast-mode NCC: shared transform length, fused normalisation.
+
+    Statistically equivalent to (but **not** bit-identical with)
+    :func:`normalized_cross_correlation_batch`:
+
+    * every row is padded to one :func:`shared_fast_len` transform, so
+      the whole batch is two stacked FFTs against a single cached
+      template spectrum (optionally threaded with ``workers``);
+    * the local-energy denominator is a cumulative-sum sliding window —
+      one O(n) pass instead of a second FFT convolution pair.  The
+      window sums are mathematically identical and differ only in
+      rounding, which the fast backend's equivalence contract absorbs
+      (tests/test_fast_equivalence.py).
+    """
+    tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
+    streams = [np.asarray(s, dtype=float) for s in streams]
+    for s in streams:
+        if s.size == 0:
+            raise ValueError("stream and template must be non-empty")
+    if tmpl.norm == 0:
+        raise ValueError("template has zero energy")
+    if not streams:
+        return []
+    out: List[Optional[np.ndarray]] = [None] * len(streams)
+    start = tmpl.size - 1
+    w = fft_workers() if workers is None else workers
+
+    fft_rows = []
+    for idx, s in enumerate(streams):
+        if tmpl.size == 1 or s.size == 1:
+            corr = (s * tmpl._reversed)[start : start + s.size]
+            energy = ((s * s) * np.ones(tmpl.size))[start : start + s.size]
+            denom = np.sqrt(np.maximum(energy, 0.0))
+            np.maximum(denom, 1e-12, out=denom)
+            denom *= tmpl.norm
+            out[idx] = np.clip(corr / denom, -1.0, 1.0)
+        else:
+            fft_rows.append(idx)
+    if not fft_rows:
+        return out  # type: ignore[return-value]
+
+    nf = shared_fast_len([streams[i].size + tmpl.size - 1 for i in fft_rows])
+    stacked = _stack_padded(streams, fft_rows, nf)
+    spec = rfft(stacked, nf, axis=-1, workers=w)
+    spec *= tmpl.reversed_fft(nf)
+    corr = irfft(spec, nf, axis=-1, workers=w)
+    np.square(stacked, out=stacked)
+    cum = np.cumsum(stacked, axis=-1)
+    for k, idx in enumerate(fft_rows):
+        n = streams[idx].size
+        # Windowed energy of the L samples ending at full-conv index
+        # start + i: cum[start + i] - cum[i - 1] (zero rows pad cum
+        # flat beyond n, so the upper index never under-counts).
+        upper = cum[k, start : start + n]
+        energy = upper - np.concatenate(([0.0], cum[k, : n - 1]))
+        denom = np.sqrt(np.maximum(energy, 0.0))
+        np.maximum(denom, 1e-12, out=denom)
+        denom *= tmpl.norm
+        np.divide(corr[k, start : start + n], denom, out=denom)
+        out[idx] = np.clip(denom, -1.0, 1.0, out=denom)
     return out  # type: ignore[return-value]
 
 
@@ -324,12 +426,16 @@ def segment_autocorrelation_scores(
     pn_signs,
     symbol_stride: int,
     symbol_len: int,
+    force_gemm: bool = False,
 ) -> np.ndarray:
     """Gate scores for many candidate starts of one stream, batched.
 
     Every ``starts[i]`` must satisfy
     ``0 <= start`` and ``start + stride * len(signs) <= stream.size``.
-    Bit-identical to :func:`segment_autocorrelation` per candidate.
+    Bit-identical to :func:`segment_autocorrelation` per candidate —
+    unless ``force_gemm`` is set (the fast backend), which always takes
+    the batched GEMM path: same mathematics, possibly different last
+    ulps on platforms where BLAS accumulates differently from ``ddot``.
     """
     stream = np.asarray(stream, dtype=float)
     signs = list(pn_signs)
@@ -337,7 +443,7 @@ def segment_autocorrelation_scores(
     K = len(starts)
     if K == 0:
         return np.zeros(0)
-    if not _gemm_matches_dot(num_segments, symbol_len):
+    if not force_gemm and not _gemm_matches_dot(num_segments, symbol_len):
         needed = symbol_stride * num_segments
         return np.array(
             [
@@ -347,11 +453,10 @@ def segment_autocorrelation_scores(
                 for s in starts
             ]
         )
-    W = np.empty((K, num_segments, symbol_len))
-    for k, start in enumerate(starts):
-        start = int(start)
-        for i in range(num_segments):
-            W[k, i] = stream[start + i * symbol_stride : start + i * symbol_stride + symbol_len]
+    offsets = np.asarray(starts, dtype=np.int64)[:, None] + (
+        np.arange(num_segments, dtype=np.int64) * symbol_stride
+    )
+    W = np.lib.stride_tricks.sliding_window_view(stream, symbol_len)[offsets]
     G = W @ W.transpose(0, 2, 1)
     idx = np.arange(num_segments)
     norms = np.sqrt(G[:, idx, idx])

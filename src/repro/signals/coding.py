@@ -93,7 +93,9 @@ def depuncture_from_rate_2_3(punctured: Sequence[float]) -> List[float]:
     return out
 
 
-def viterbi_decode(coded: Sequence[float], num_message_bits: int, terminated: bool = True) -> List[int]:
+def viterbi_decode(
+    coded: Sequence[float], num_message_bits: int, terminated: bool = True
+) -> List[int]:
     """Viterbi decode soft/hard mother-code bits.
 
     Parameters

@@ -30,9 +30,10 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from repro.channel.multipath import image_method_tap_arrays
-from repro.channel.noise import bandpass_sos, spiky_noise
+from repro.channel.noise import bandpass_sos, spiky_noise, synth_noise_rows
 from repro.channel.occlusion import occlusion_gain_array
 from repro.channel.render import CachedWaveform, apply_channel_batch
+from repro.signals.batchcorr import fft_workers
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
     RangingMeasurement,
@@ -46,17 +47,42 @@ from repro.signals.preamble import Preamble
 
 @dataclass
 class _MicPlan:
-    """Phase-A output for one (trial, microphone) channel."""
+    """Phase-A output for one (trial, microphone) channel.
+
+    In parity mode ``white``/``hw`` hold the legacy-order noise draws;
+    in fast mode they are ``None`` (noise is synthesised in Phase B
+    from the dedicated substream) and ``hw_rms`` carries the hardware
+    noise level instead.
+    """
 
     positions: np.ndarray  # tap delays * sample_rate
     amplitudes: np.ndarray
     fir_length: int
     body_length: int
     stream_length: int
-    white: np.ndarray  # unfiltered ambient draw
+    white: Optional[np.ndarray]  # unfiltered ambient draw (parity mode)
     spike: np.ndarray
-    hw: np.ndarray
+    hw: Optional[np.ndarray]
     ambient_rms: float
+    hw_rms: float = 0.0
+
+
+def spawn_substream(rng: np.random.Generator) -> np.random.Generator:
+    """A child generator independent of ``rng``'s own draw stream.
+
+    Deterministic per seed: spawning advances only the seed sequence's
+    child counter, never the parent's sample stream.  Spawns through
+    the bit generator's seed sequence directly (equivalent to
+    ``Generator.spawn`` for the PCG64 generators used everywhere here,
+    but available on every supported numpy, so results cannot depend
+    on the installed version).  Falls back to seeding from one parent
+    draw when the generator carries no seed sequence (hand-built bit
+    generators).
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is not None and hasattr(seed_seq, "spawn"):
+        return np.random.default_rng(seed_seq.spawn(1)[0])
+    return np.random.default_rng(int(rng.integers(0, 2**63)))
 
 
 @dataclass
@@ -87,13 +113,24 @@ class BatchExchangeRenderer:
     performs no draws at all.  Typical use renders a sweep's worth of
     trials per call; memory stays bounded because callers (e.g.
     :class:`BatchOneWay`) flush in chunks.
+
+    ``fast=True`` switches to the non-parity fast backend: the main
+    generator only provides the sound-speed and fluctuation draws,
+    while ambient/hardware noise is synthesised in the frequency domain
+    from a dedicated :func:`spawn_substream` of the first ``add``'s
+    generator (still fully deterministic per seed); channel FIRs are
+    right-sized to the tap span instead of the legacy over-length, and
+    Phase B uses one shared transform length with threaded FFTs.  See
+    DESIGN.md §7 for the equivalence contract.
     """
 
-    def __init__(self, preamble: Preamble):
+    def __init__(self, preamble: Preamble, fast: bool = False):
         self.preamble = preamble
+        self.fast = bool(fast)
         self.fs = float(preamble.config.ofdm.sample_rate)
         self._plans: List[_TrialPlan] = []
         self._waves: Dict[float, CachedWaveform] = {}
+        self._noise_rng: Optional[np.random.Generator] = None
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -108,6 +145,8 @@ class BatchExchangeRenderer:
         """Plan one exchange, consuming ``rng`` in legacy order."""
         env = config.environment
         fs = self.fs
+        if self.fast and self._noise_rng is None:
+            self._noise_rng = spawn_substream(rng)
         tx = np.asarray(tx_pos, dtype=float)
         rx = np.asarray(rx_pos, dtype=float)
         nominal_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
@@ -163,15 +202,21 @@ class BatchExchangeRenderer:
 
             max_delay = float(delays.max())
             body_length = preamble_len + int(max_delay * fs) + tail
-            default_len = preamble_len + int(np.ceil(max_delay * fs)) + 2
-            fir_length = min(body_length, default_len)
             stream_length = guard + body_length
-
-            white = rng.standard_normal(stream_length)
-            spike = spiky_noise(stream_length, env.noise, rng, fs)
-            hw = config.rx_model.mic_noise_rms[mic_index] * rng.standard_normal(
-                stream_length
-            )
+            hw_rms = float(config.rx_model.mic_noise_rms[mic_index])
+            if self.fast:
+                # Right-sized FIR: the tap span alone bounds the FIR —
+                # the legacy length adds the (irrelevant) wave length,
+                # inflating every convolution's transform.
+                fir_length = int(np.ceil(max_delay * fs)) + 2
+                spike = spiky_noise(stream_length, env.noise, self._noise_rng, fs)
+                white = hw = None
+            else:
+                default_len = preamble_len + int(np.ceil(max_delay * fs)) + 2
+                fir_length = min(body_length, default_len)
+                white = rng.standard_normal(stream_length)
+                spike = spiky_noise(stream_length, env.noise, rng, fs)
+                hw = hw_rms * rng.standard_normal(stream_length)
             mic_plans.append(
                 _MicPlan(
                     positions=delays * fs,
@@ -183,6 +228,7 @@ class BatchExchangeRenderer:
                     spike=spike,
                     hw=hw,
                     ambient_rms=env.noise.ambient_rms,
+                    hw_rms=hw_rms,
                 )
             )
         self._plans.append(
@@ -215,7 +261,10 @@ class BatchExchangeRenderer:
 
         # Channel convolution, grouped by FFT length inside
         # apply_channel_batch; the waveform spectrum cache is keyed by
-        # amplitude scale so mixed-config batches stay correct.
+        # amplitude scale so mixed-config batches stay correct.  Fast
+        # mode shares one transform length per scale group and threads
+        # the stacked FFTs.
+        workers = fft_workers() if self.fast else None
         bodies: List[np.ndarray] = [None] * len(rows)  # type: ignore[list-item]
         by_scale: Dict[float, List[int]] = {}
         for i, row in enumerate(rows):
@@ -229,20 +278,34 @@ class BatchExchangeRenderer:
                 ],
                 [mic_of(rows[i]).fir_length for i in idxs],
                 [mic_of(rows[i]).body_length for i in idxs],
+                shared_length=self.fast,
+                workers=workers,
             )
             for i, body in zip(idxs, outs):
                 bodies[i] = body
 
-        # Ambient noise: one batched causal filter over all rows.  A
-        # zero-padded tail cannot alter a causal filter's prefix, so
-        # each row's first ``stream_length`` samples match the scalar
-        # sosfilt output bit for bit.
-        sos = bandpass_sos(self.fs)
         lengths = [mic_of(r).stream_length for r in rows]
-        slab = np.zeros((len(rows), max(lengths)))
-        for i, row in enumerate(rows):
-            slab[i, : lengths[i]] = mic_of(row).white
-        filtered = sp_signal.sosfilt(sos, slab, axis=-1)
+        if self.fast:
+            # Ambient + hardware noise in one frequency-domain draw per
+            # row from the dedicated substream (see synth_noise_rows).
+            filtered = synth_noise_rows(
+                lengths,
+                [mic_of(r).ambient_rms for r in rows],
+                [mic_of(r).hw_rms for r in rows],
+                self._noise_rng,
+                self.fs,
+                workers=workers,
+            )
+        else:
+            # Ambient noise: one batched causal filter over all rows.
+            # A zero-padded tail cannot alter a causal filter's prefix,
+            # so each row's first ``stream_length`` samples match the
+            # scalar sosfilt output bit for bit.
+            sos = bandpass_sos(self.fs)
+            slab = np.zeros((len(rows), max(lengths)))
+            for i, row in enumerate(rows):
+                slab[i, : lengths[i]] = mic_of(row).white
+            filtered = sp_signal.sosfilt(sos, slab, axis=-1)
 
         receptions: List[Reception] = []
         for t, plan in enumerate(plans):
@@ -251,6 +314,12 @@ class BatchExchangeRenderer:
                 i = 2 * t + m
                 mic = plan.mics[m]
                 n = mic.stream_length
+                if self.fast:
+                    shaped = filtered[i, :n].copy()
+                    shaped += mic.spike
+                    shaped[plan.guard :] += bodies[i]
+                    streams.append(shaped)
+                    continue
                 shaped = filtered[i, :n]
                 rms = np.sqrt(np.mean(shaped**2))
                 if rms > 0:
@@ -297,15 +366,25 @@ class BatchOneWay:
     and estimates everything batch-wise and returns measurements in
     submission order, bit-identical to the legacy loop.  Flushes
     internally every ``chunk`` trials to bound memory.
+
+    ``backend="fast"`` switches renderer and estimator to the
+    non-parity fast engine (right-sized FIRs, frequency-domain noise,
+    fused NCC, forced-GEMM gate) — deterministic per seed, validated
+    statistically instead of bit-wise (tests/test_fast_equivalence.py).
     """
 
-    def __init__(self, preamble: Preamble, chunk: int = 24):
+    def __init__(self, preamble: Preamble, chunk: int = 24, backend: str = "batch"):
         from repro.ranging.batch import BatchArrivalEstimator
 
+        if backend not in ("batch", "fast"):
+            raise ValueError(
+                f"unknown waveform backend {backend!r} (use 'batch' or 'fast')"
+            )
         self.preamble = preamble
+        self.backend = backend
         self.chunk = int(chunk)
-        self.renderer = BatchExchangeRenderer(preamble)
-        self.estimator = BatchArrivalEstimator(preamble)
+        self.renderer = BatchExchangeRenderer(preamble, fast=backend == "fast")
+        self.estimator = BatchArrivalEstimator(preamble, fast=backend == "fast")
         self._meta: List[_OneWayMeta] = []
         self._results: List[RangingMeasurement] = []
 

@@ -23,7 +23,7 @@ the whole schedule.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 import numpy as np
 

@@ -23,12 +23,11 @@ choice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.localization.ambiguity import mic_arrival_sign
 from repro.localization.pipeline import LocalizationResult, localize
 from repro.protocol.ranging_matrix import pairwise_distances_from_reports
 from repro.protocol.round import RoundOutcome, run_protocol_round

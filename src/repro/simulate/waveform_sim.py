@@ -23,7 +23,7 @@ from repro.channel.render import apply_channel, directivity_gain
 from repro.devices.models import SAMSUNG_S9, DeviceModel
 from repro.ranging.detector import DetectionConfig
 from repro.ranging.pairwise import ArrivalEstimate, estimate_arrival
-from repro.signals.preamble import Preamble, make_preamble
+from repro.signals.preamble import Preamble
 
 
 @dataclass(frozen=True)
@@ -349,9 +349,12 @@ def simulate_reception(
         taps = _with_case_multipath(taps, config.rx_model)
         wave = config.amplitude * config.tx_model.source_level * preamble.waveform
         tail = int(0.08 * fs)
-        body = apply_channel(wave, taps, fs, output_length=len(preamble) + int(
-            max(t.delay_s for t in taps) * fs
-        ) + tail)
+        body = apply_channel(
+            wave,
+            taps,
+            fs,
+            output_length=len(preamble) + int(max(t.delay_s for t in taps) * fs) + tail,
+        )
         stream = np.concatenate([np.zeros(guard), body])
         noise = make_noise(stream.size, env.noise, rng, fs)
         hw_noise = config.rx_model.mic_noise_rms[mic_index] * rng.standard_normal(

@@ -1,0 +1,128 @@
+"""Backend dispatch: capability flags, CLI errors, artifact provenance.
+
+The waveform-backend registry (``engine.WAVEFORM_BACKENDS``) is the
+dispatch surface every engine plugs into; these tests pin its failure
+modes: unknown backend names, fast/batch flags on experiments that do
+not support a waveform backend (fig6, the tables), and the provenance
+block that ties a campaign artifact to its backend and trial-chunk
+count (a chunked run is a different, equally valid seeding scheme, so
+the chunk count must be pinned in the artifact).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import engine
+from repro.experiments.runner import main
+from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchOneWay
+
+
+class TestCheckBackend:
+    def test_known_backends_pass(self):
+        for backend in engine.WAVEFORM_BACKENDS:
+            assert engine.check_backend(backend) == backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            engine.check_backend("turbo")
+
+    def test_capability_flags_enforced(self):
+        assert engine.check_backend("fast", "fig11") == "fast"
+        for name in ("fig6", "tables", "fig18"):
+            with pytest.raises(ValueError, match="does not support"):
+                engine.check_backend("fast", name)
+
+    def test_waveform_figures_declare_all_backends(self):
+        for name in ("fig11", "fig12", "fig13", "fig14", "fig15", "fig22"):
+            assert engine.get_spec(name).backends == engine.WAVEFORM_BACKENDS
+
+    def test_register_rejects_unknown_capability(self):
+        with pytest.raises(ValueError, match="unknown backend capability"):
+            engine.register(
+                name="bogus", title="x", paper_ref="x", backends=("warp",)
+            )(lambda rng, scale: None)
+
+    def test_run_campaign_rejects_unsupported_backend(self):
+        with pytest.raises(ValueError, match="does not support"):
+            engine.run_campaign(["fig6"], backend="fast", scale=0.05)
+
+
+class TestRunnerCliBackend:
+    def test_unknown_backend_exits_2(self, capsys):
+        assert main(["fig11", "--backend", "turbo"]) == 2
+        assert "unknown backend" in capsys.readouterr().out
+
+    def test_fast_on_unsupporting_spec_exits_2(self, capsys):
+        assert main(["fig6", "--backend", "fast"]) == 2
+        out = capsys.readouterr().out
+        assert "does not support" in out and "fig6" in out
+
+    def test_fast_on_tables_exits_2(self, capsys):
+        assert main(["tables", "--backend", "batch"]) == 2
+        assert "does not support" in capsys.readouterr().out
+
+    def test_mixed_selection_fails_before_running(self, capsys):
+        # fig11 supports fast but the tables do not: the campaign must
+        # be rejected up front rather than half-executed.
+        assert main(["fig11", "tables", "--backend", "fast"]) == 2
+
+
+class TestArtifactProvenance:
+    def test_fast_backend_recorded(self, tmp_path, capsys):
+        path = tmp_path / "fast.json"
+        code = main(
+            ["fig22", "--backend", "fast", "--scale", "0.5", "--json", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-campaign/2"
+        assert doc["provenance"]["backend"] == "fast"
+        assert doc["provenance"]["trial_chunks"] == 1
+        entry = doc["experiments"][0]
+        assert entry["status"] == "ok"
+        assert entry["params"]["backend"] == "fast"
+
+    def test_trial_chunks_pinned_for_fast_artifacts(self, tmp_path):
+        path = tmp_path / "chunked.json"
+        code = main(
+            [
+                "fig14",
+                "--backend",
+                "fast",
+                "--scale",
+                "0.08",
+                "--trial-chunks",
+                "3",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["provenance"] == {"trial_chunks": 3, "backend": "fast"}
+        assert doc["experiments"][0]["status"] == "ok"
+
+    def test_default_provenance_is_unchunked_no_backend(self, tmp_path):
+        path = tmp_path / "default.json"
+        assert main(["fig22", "--scale", "0.5", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["provenance"] == {"trial_chunks": 1, "backend": None}
+        # No campaign-level backend: the entry ran on its own default.
+        assert "backend" not in doc["experiments"][0]["params"]
+
+
+class TestBatchOneWayDispatch:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown waveform backend"):
+            BatchOneWay(make_preamble(), backend="legacy")
+
+    def test_entry_level_unknown_backend_errors_in_campaign(self):
+        # An in-entry backend error surfaces as a failed result, not a
+        # crashed campaign.
+        results = engine.run_campaign(
+            ["fig22"], scale=0.5, sweep={"backend": ["warp"]}
+        )
+        assert all(r.status == "error" for r in results)
+        assert "unknown backend" in results[0].error

@@ -18,7 +18,6 @@ from repro.experiments.engine import (
     run_campaign,
     sweep_variants,
     variant_seed_sequence,
-    write_campaign_json,
 )
 from repro.experiments.runner import main
 
@@ -154,8 +153,9 @@ class TestArtifacts:
     def test_artifact_has_paper_vs_measured_for_all(self):
         results = run_campaign(CHEAP, base_seed=3, scale=0.1)
         doc = campaign_to_dict(results, base_seed=3)
-        assert doc["schema"] == "repro-campaign/1"
+        assert doc["schema"] == "repro-campaign/2"
         assert doc["base_seed"] == 3
+        assert doc["provenance"] == {"trial_chunks": 1, "backend": None}
         assert [e["experiment"] for e in doc["experiments"]] == CHEAP
         for entry in doc["experiments"]:
             assert entry["status"] == "ok"

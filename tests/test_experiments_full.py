@@ -1,7 +1,6 @@
 """Smoke tests for the heavier experiment harnesses (tiny sample sizes)."""
 
 import numpy as np
-import pytest
 
 
 class TestFig11Smoke:

@@ -1,0 +1,122 @@
+"""Statistical-equivalence contract of the fast waveform backend.
+
+``backend="fast"`` is the first engine allowed to diverge from the
+legacy reference in bits, so its gate is statistical instead of
+bit-wise: on every seed, each figure's measured metrics must land
+within the pre-registered tolerances of
+``repro.experiments.fast_contract`` relative to the ``batch`` reference
+(which stays bit-identical to legacy — tests/test_batch_parity.py).
+
+Also pins the fast backend's own reproducibility guarantees: identical
+artifacts for identical seeds regardless of worker count, and the
+dedicated noise substream never perturbing the main stream's geometry
+draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import DOCK
+from repro.experiments import engine
+from repro.experiments.fast_contract import TOLERANCES, compare_measured
+from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchOneWay
+from repro.simulate.waveform_sim import ExchangeConfig
+
+#: Trial scale per figure: small enough to keep the suite quick, large
+#: enough that the registered tolerances clear seed-level noise.
+SCALES = {
+    "fig11": 0.25,
+    "fig12": 0.5,
+    "fig13": 0.3,
+    "fig14": 0.25,
+    "fig15": 0.2,
+    "fig22": 1.0,
+}
+
+SEEDS = (101, 202, 303)
+
+
+def _measured(name: str, backend: str, seed: int):
+    entry = engine.get_spec(name).resolve_entry()
+    rng = engine.experiment_rng(name, base_seed=seed)
+    return entry(rng, scale=SCALES[name], backend=backend).measured
+
+
+@pytest.mark.parametrize("name", sorted(TOLERANCES))
+def test_fast_within_registered_tolerances(name):
+    """Fast metrics match the batch reference on every seed."""
+    for seed in SEEDS:
+        reference = _measured(name, "batch", seed)
+        candidate = _measured(name, "fast", seed)
+        violations = compare_measured(name, reference, candidate)
+        assert not violations, f"seed {seed}: " + "; ".join(violations)
+
+
+def test_contract_covers_all_fast_figures():
+    """Every experiment declaring the fast backend has tolerances."""
+    for name, spec in engine.registry().items():
+        if "fast" in spec.backends:
+            assert name in TOLERANCES, f"{name} supports fast but has no contract"
+
+
+def test_contract_detects_structure_and_value_breaks():
+    def fig11_measured(median_by_distance):
+        return {
+            "median_by_distance": median_by_distance,
+            "p95_by_distance": {},
+            "mic_p95": {},
+        }
+
+    reference = fig11_measured({"10": 0.4, "20": 0.8})
+    assert compare_measured("fig11", reference, fig11_measured({"10": 0.4}))
+    violations = compare_measured(
+        "fig11", reference, fig11_measured({"10": 0.4, "20": 9.8})
+    )
+    assert violations and "median_by_distance" in violations[0]
+    nan_break = fig11_measured({"10": 0.4, "20": float("nan")})
+    assert compare_measured("fig11", reference, nan_break)
+
+
+def test_fast_backend_deterministic_per_seed():
+    """Same seed, same fast-mode measurements — run to run."""
+    a = _measured("fig14", "fast", 11)
+    b = _measured("fig14", "fast", 11)
+    assert a == b
+
+
+def test_fast_noise_substream_keeps_geometry_draws_on_main_stream():
+    """The fast renderer draws noise off-stream: after one add(), the
+    main generator has consumed exactly the sound-speed normal and the
+    fluctuation-seed integer (the legacy/batch geometry prefix)."""
+    preamble = make_preamble()
+    config = ExchangeConfig(environment=DOCK)
+    rng = np.random.default_rng(5)
+    sim = BatchOneWay(preamble, backend="fast")
+    sim.add([0.0, 0.0, 2.0], [15.0, 0.0, 2.0], config, rng)
+
+    ref = np.random.default_rng(5)
+    ref.spawn(1)  # the renderer's dedicated noise substream
+    ref.normal(0.0, config.sound_speed_error_std)
+    ref.integers(0, 2**32)
+    assert rng.standard_normal() == ref.standard_normal()
+
+
+def test_fast_campaign_artifact_worker_independent(tmp_path):
+    """Chunked fast campaigns are byte-identical serial vs parallel."""
+    docs = []
+    for workers in (1, 2):
+        results = engine.run_campaign(
+            ["fig14"],
+            base_seed=17,
+            workers=workers,
+            scale=0.08,
+            trial_chunks=2,
+            backend="fast",
+        )
+        docs.append(
+            engine.campaign_to_json(
+                results, base_seed=17, trial_chunks=2, backend="fast"
+            )
+        )
+    assert docs[0] == docs[1]

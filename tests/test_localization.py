@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import LocalizationError
-from repro.geometry.topology import full_weight_matrix, pairwise_distance_matrix
+from repro.geometry.topology import pairwise_distance_matrix
 from repro.geometry.transforms import angle_of
 from repro.localization.ambiguity import (
     flip_candidates,

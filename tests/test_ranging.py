@@ -5,11 +5,7 @@ import pytest
 
 from repro.channel.multipath import PathTap
 from repro.channel.render import apply_channel
-from repro.ranging.detector import (
-    DetectionConfig,
-    detect_power_threshold,
-    detect_preamble,
-)
+from repro.ranging.detector import detect_power_threshold, detect_preamble
 from repro.ranging.estimator import (
     estimate_direct_path,
     single_mic_direct_path,

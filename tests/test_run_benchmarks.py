@@ -1,0 +1,109 @@
+"""The benchmark runner must fail loudly when a timed campaign raises.
+
+Before PR 4, a figure whose campaign raised was silently missing from
+the ``--json`` artifact, so the CI perf gate compared against an
+incomplete file and could mask a broken backend.  Now the error lands
+*in* the artifact and the process exits non-zero.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "run_benchmarks", _ROOT / "benchmarks" / "run_benchmarks.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_benchmarks", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_failing_figure_recorded_and_exit_nonzero(
+    bench_module, tmp_path, monkeypatch, capsys
+):
+    monkeypatch.setattr(
+        bench_module,
+        "bench_figure",
+        lambda name, scale: {"error": "backend 'fast' raised:\nboom"},
+    )
+    path = tmp_path / "bench.json"
+    code = bench_module.main(
+        ["--figures", "fig11", "--skip-kernels", "--json", str(path)]
+    )
+    assert code == 1
+    assert "FAILED figures: fig11" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    assert "error" in doc["figures"]["fig11"]
+
+
+def test_bench_figure_captures_backend_exception(bench_module, monkeypatch):
+    from repro.experiments import engine
+
+    real_spec = engine.get_spec("fig11")
+
+    def entry(rng, scale, backend):
+        raise RuntimeError("kernel exploded")
+
+    monkeypatch.setattr(
+        type(real_spec), "resolve_entry", lambda self: entry, raising=True
+    )
+    timings = bench_module.bench_figure("fig11", 0.1)
+    assert "kernel exploded" in timings["error"]
+    assert "speedup" not in timings
+
+
+def test_healthy_figure_times_all_three_backends(bench_module):
+    timings = bench_module.bench_figure("fig22", 0.5)
+    assert set(timings) == {"legacy", "batch", "fast", "speedup", "speedup_fast"}
+    assert timings["speedup"] > 0 and timings["speedup_fast"] > 0
+
+
+def test_regression_gate_flags_errored_figure(check_module):
+    baseline = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7}}}
+    current = {"figures": {"fig11": {"error": "boom"}}}
+    violations = check_module.check(baseline, current)
+    assert violations and "errored" in violations[0]
+
+
+def test_regression_gate_floors_and_baseline_ratio(check_module):
+    baseline = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7}}}
+    ok = {
+        "figures": {
+            "fig11": {"legacy": 1.0, "batch": 0.7, "speedup": 1.45, "speedup_fast": 2.1}
+        }
+    }
+    assert check_module.check(baseline, ok) == []
+    slow = {"figures": {"fig11": {"legacy": 1.0, "batch": 1.2, "speedup": 0.83}}}
+    violations = check_module.check(baseline, slow)
+    assert any("below" in v for v in violations)
+    regressed = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.9, "speedup": 1.1}}}
+    violations = check_module.check(baseline, regressed)
+    assert any("regressed" in v for v in violations)
+    missing = {"figures": {}}
+    assert any("missing" in v for v in check_module.check(baseline, missing))
+
+
+def test_regression_gate_skips_timer_noise_figures(check_module):
+    baseline = {"figures": {"fig22": {"legacy": 0.005, "batch": 0.004, "speedup": 1.4}}}
+    tiny = {"figures": {"fig22": {"legacy": 0.004, "batch": 0.01, "speedup": 0.4}}}
+    assert check_module.check(baseline, tiny, min_seconds=0.05) == []

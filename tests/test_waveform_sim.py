@@ -75,7 +75,9 @@ class TestOneWayRange:
         errs_base, errs_occ = [], []
         for _ in range(5):
             errs_base.append(one_way_range(preamble, [0, 0, 1.5], [12, 0, 1.5], base, rng).error_m)
-            errs_occ.append(one_way_range(preamble, [0, 0, 1.5], [12, 0, 1.5], occluded, rng).error_m)
+            errs_occ.append(
+                one_way_range(preamble, [0, 0, 1.5], [12, 0, 1.5], occluded, rng).error_m
+            )
         # Occluded estimates lock onto a reflection -> biased long.
         assert np.nanmedian(errs_occ) > np.nanmedian(np.abs(errs_base))
 
