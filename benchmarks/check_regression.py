@@ -3,7 +3,7 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --baseline BENCH_PR3.json --current BENCH_CI.json
+        --baseline BENCH_PR5.json --current BENCH_CI.json
 
 Compares the per-figure backend speedups measured in this run against
 the committed baseline and fails (exit 1) when:
@@ -11,6 +11,10 @@ the committed baseline and fails (exit 1) when:
 * a figure present in the baseline is missing from the current artifact
   (or carries an ``error`` entry) — a broken backend must not slip
   through by vanishing from the JSON;
+* a figure present in the current artifact but absent from the baseline
+  — such a figure would otherwise never be gated at all; pass
+  ``--allow-new-figures`` for the one run that introduces it (then
+  commit a refreshed baseline so it is gated from the next run on);
 * a figure's batch-vs-legacy speedup drops below ``--min-speedup``
   (default 1.0x: the batch backend must never be slower than legacy);
 * a figure's batch-vs-legacy speedup regresses more than
@@ -50,11 +54,32 @@ def check(
     max_regression: float = 0.25,
     min_speedup: float = 1.0,
     min_seconds: float = 0.05,
+    allow_new_figures: bool = False,
 ) -> List[str]:
     """Return the list of violations (empty when the gate passes)."""
     violations: List[str] = []
     base_figs = baseline.get("figures", {})
     cur_figs = current.get("figures", {})
+    # Figures only the current artifact knows about are never compared
+    # by the baseline loop below — report them and fail unless the run
+    # explicitly opted in, so new figures cannot ship ungated silently.
+    for name in sorted(cur_figs):
+        if name in base_figs:
+            continue
+        if "error" in cur_figs[name]:
+            # A broken figure must never ship green, least of all on
+            # the very run that introduces it.
+            violations.append(
+                f"{name}: new figure errored: {cur_figs[name]['error']}"
+            )
+        elif allow_new_figures:
+            print(f"  {name}: new figure, not in baseline (allowed by flag)")
+        else:
+            violations.append(
+                f"{name}: present in current artifact but missing from the "
+                "baseline — regenerate the committed baseline, or pass "
+                "--allow-new-figures for the run that introduces it"
+            )
     for name, base in base_figs.items():
         cur = cur_figs.get(name)
         if cur is None:
@@ -102,8 +127,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
-        default="BENCH_PR3.json",
-        help="committed baseline artifact (default: BENCH_PR3.json)",
+        default="BENCH_PR5.json",
+        help="committed baseline artifact (default: BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--allow-new-figures",
+        action="store_true",
+        help="report (not fail) figures absent from the baseline",
     )
     parser.add_argument(
         "--current", required=True, help="artifact produced by this run"
@@ -137,6 +167,7 @@ def main(argv=None) -> int:
         max_regression=args.max_regression,
         min_speedup=args.min_speedup,
         min_seconds=args.min_seconds,
+        allow_new_figures=args.allow_new_figures,
     )
     if not violations:
         print("perf gate: OK")

@@ -2,7 +2,7 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_PR5.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --scale 0.2 --figures fig11
 
 Times each waveform figure's campaign entry under all three backends on

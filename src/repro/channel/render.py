@@ -18,6 +18,41 @@ from scipy.fft import irfft, next_fast_len, rfft
 from repro.channel.multipath import PathTap
 
 
+def fir_length_for(
+    taps: Sequence[PathTap] | float,
+    sample_rate: float,
+    reference_delay_s: float = 0.0,
+) -> int:
+    """The one FIR-sizing contract shared by every waveform backend.
+
+    A multipath channel FIR only has to cover the last tap: its length
+    is ``ceil(max_delay * fs) + 2`` samples (the ``+ 2`` holds the
+    linear-interpolation split of a fractional final tap).  The
+    transmit waveform's length is irrelevant to the FIR — the historic
+    ``wave.size + ceil(max_delay * fs) + 2`` sizing roughly doubled
+    every channel convolution's transform for nothing, and until parity
+    epoch 2 was only fixed inside the fast backend.  All three backends
+    (legacy :func:`apply_channel`, batch :func:`apply_channel_batch`
+    planning in ``simulate.batch_exchange``, and the fast engine) now
+    size FIRs through this helper, so their convolutions agree on the
+    work a channel actually needs.
+
+    ``taps`` may be a tap sequence or the maximum tap delay in seconds.
+    The result equals :func:`render_taps`'s natural (``length=None``)
+    FIR length for the same taps.
+    """
+    if isinstance(taps, (int, float, np.floating)):
+        max_delay = float(taps)
+    else:
+        if not taps:
+            raise ValueError("taps must be non-empty")
+        max_delay = max(t.delay_s for t in taps)
+    max_delay -= reference_delay_s
+    if max_delay < 0:
+        raise ValueError("reference_delay_s puts the last tap at negative delay")
+    return int(np.ceil(max_delay * sample_rate)) + 2
+
+
 def render_taps(
     taps: Sequence[PathTap],
     sample_rate: float,
@@ -51,8 +86,12 @@ def render_taps(
         raise ValueError("reference_delay_s puts a tap at negative delay")
     amps = np.array([t.amplitude for t in taps])
     positions = delays * sample_rate
-    needed = int(np.ceil(positions.max())) + 2
-    n = needed if length is None else int(length)
+    # Natural length delegates to the one sizing contract.
+    n = (
+        fir_length_for(taps, sample_rate, reference_delay_s)
+        if length is None
+        else int(length)
+    )
     return render_taps_positions(positions, amps, n)
 
 
@@ -143,10 +182,12 @@ def apply_channel_batch(
     """Batched tail of :func:`apply_channel`: ``fftconvolve`` + slice/pad.
 
     ``fir_rows[r][:fir_lengths[r]]`` is row ``r``'s FIR (anything
-    beyond is ignored); the convolution uses the same
-    ``next_fast_len`` transform size the scalar path picks for that
-    FIR length, so outputs are bit-identical.  The waveform spectrum
-    is computed once per distinct transform length.
+    beyond is ignored); callers size ``fir_lengths`` with
+    :func:`fir_length_for` (possibly truncated to the output length),
+    and the convolution uses the same ``next_fast_len`` transform size
+    the scalar path picks for that FIR length, so outputs are
+    bit-identical.  The waveform spectrum is computed once per distinct
+    transform length.
 
     ``shared_length=True`` (the fast backend) pads every row to one
     shared 5-smooth transform length instead of the per-row legacy
@@ -222,14 +263,44 @@ def apply_channel(
     The output is placed on an absolute time axis starting at the moment
     of transmission: a tap with delay ``d`` contributes a copy of the
     waveform starting at sample ``d * sample_rate``.
+
+    The channel FIR is sized by :func:`fir_length_for` — just covering
+    the last tap (truncated to ``output_length`` when that is shorter:
+    taps at or beyond index ``output_length`` cannot influence the
+    returned samples).  Since parity epoch 2 this right-sizing applies
+    to *every* backend; before, the legacy/batch paths inflated the FIR
+    by the (irrelevant) waveform length.
+
+    ``output_length`` contract, relative to the natural full-convolution
+    length ``waveform.size + fir_length - 1``:
+
+    * **shorter** — the convolution is truncated: the returned prefix is
+      the first ``output_length`` samples of the full result, bit-exact
+      while ``output_length`` still covers the FIR.  Below that the FIR
+      itself is truncated to ``output_length``, which additionally
+      re-rounds the retained samples through a smaller transform and
+      drops any tap whose linear-interpolation pair straddles the cut
+      (``render_taps`` keeps a tap only when *both* neighbouring
+      samples fit), so the final retained sample can lose that tap's
+      sub-sample fraction — the historic truncation semantics,
+      preserved bit-for-bit at every epoch;
+    * **equal** — the full convolution, unchanged;
+    * **longer** — the tail is zero.  This is the physically consistent
+      extension of the time axis, not an approximation: the tap model is
+      a finite FIR driven by a finite waveform, so the channel output is
+      identically zero beyond the last tap's last waveform sample.
+
+    Pinned by ``tests/test_channel.py`` (output-length contract) and
+    ``tests/test_batchcorr.py`` (long-FIR truncation equivalence).
     """
     wave = np.asarray(waveform, dtype=float)
     if not taps:
         raise ValueError("taps must be non-empty")
-    max_delay = max(t.delay_s for t in taps)
-    default_len = wave.size + int(np.ceil(max_delay * sample_rate)) + 2
-    n = default_len if output_length is None else int(output_length)
-    fir = render_taps(taps, sample_rate, length=min(n, default_len))
+    fir_length = fir_length_for(taps, sample_rate)
+    # Default output keeps the historic time axis: one sample past the
+    # natural full-convolution length ``wave.size + fir_length - 1``.
+    n = wave.size + fir_length if output_length is None else int(output_length)
+    fir = render_taps(taps, sample_rate, length=min(n, fir_length))
     out = sp_signal.fftconvolve(wave, fir, mode="full")[:n]
     if out.size < n:
         out = np.pad(out, (0, n - out.size))

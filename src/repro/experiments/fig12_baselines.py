@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.channel.environment import BOATHOUSE
 from repro.channel.noise import make_noise, spiky_noise, synth_noise_rows
-from repro.channel.render import CachedWaveform, apply_channel_batch
+from repro.channel.render import CachedWaveform, apply_channel_batch, fir_length_for
 from repro.experiments import engine
 from repro.experiments.metrics import ErrorSummary, summarize_errors
 from repro.ranging.baselines import (
@@ -386,7 +386,7 @@ def _fast_baseline_trials(
     for taps in trial_taps:
         delays = np.array([t.delay_s for t in taps])
         amps = np.array([t.amplitude for t in taps])
-        fir_len = int(np.ceil(float(delays.max()) * fs)) + 2
+        fir_len = fir_length_for(float(delays.max()), fs)
         positions.append(delays * fs)
         amplitudes.append(amps)
         fir_lengths.append(fir_len)

@@ -17,7 +17,12 @@ import numpy as np
 from repro.channel.environment import BOATHOUSE
 from repro.channel.multipath import image_method_tap_arrays, image_method_taps
 from repro.channel.noise import make_noise
-from repro.channel.render import CachedWaveform, apply_channel, apply_channel_batch
+from repro.channel.render import (
+    CachedWaveform,
+    apply_channel,
+    apply_channel_batch,
+    fir_length_for,
+)
 from repro.experiments import engine
 from repro.signals.batchcorr import fft_workers
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
@@ -81,17 +86,17 @@ def run_snr_measurement(
                 surface_coeff=BOATHOUSE.surface_coeff,
                 bottom_coeff=BOATHOUSE.bottom_coeff,
             )
-            length = wave.size + int(np.ceil(float(delays.max()) * fs)) + 2
-            specs.append((delays, amps, length))
+            fir_len = fir_length_for(float(delays.max()), fs)
+            specs.append((delays, amps, fir_len))
             first_arrivals.append(int(delays[0] * fs))
         fast = backend == "fast"
         bodies = apply_channel_batch(
             CachedWaveform(wave),
             [(delays * fs, amps) for delays, amps, _ in specs],
-            # Fast mode right-sizes the FIR to the tap span; the parity
-            # backend keeps the legacy over-length transform sizes.
-            [(length - wave.size if fast else length) for _, _, length in specs],
-            [length for _, _, length in specs],
+            # One FIR-sizing contract for every backend (parity epoch 2);
+            # matches apply_channel's sizing in the legacy branch below.
+            [fir_len for _, _, fir_len in specs],
+            [wave.size + fir_len for _, _, fir_len in specs],
             shared_length=fast,
             workers=fft_workers() if fast else None,
         )

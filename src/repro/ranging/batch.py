@@ -8,7 +8,9 @@ streams:
 
 * normalised cross-correlation shares cached template/window spectra
   and stacks equal-FFT-length streams into single transforms;
-* candidate gating uses the exact-parity fast segment autocorrelation;
+* candidate gating stacks *every* stream's shortlisted windows into one
+  exact-parity GEMM per flush (scalar-reduction fallback where BLAS
+  does not reproduce ``ddot`` bitwise);
 * LS channel estimation FFTs all detected streams' OFDM symbols in one
   stacked transform and accumulates per-symbol terms in legacy order;
 * peak scans are vectorised comparisons instead of per-sample Python.
@@ -29,7 +31,7 @@ from repro.signals.batchcorr import (
     local_peak_indices_fast,
     normalized_cross_correlation_batch,
     normalized_cross_correlation_fused,
-    segment_autocorrelation_scores,
+    segment_autocorrelation_scores_multi,
 )
 from repro.signals.ofdm import band_bins
 from repro.signals.peaks import noise_floor
@@ -46,8 +48,10 @@ def detect_preamble_batch(
     """Batched :func:`repro.ranging.detector.detect_preamble`.
 
     One NCC pass over all long-enough streams (grouped by transform
-    length), then the scalar candidate logic per stream on the
-    bit-identical correlation arrays.
+    length), one cross-stream candidate-gate GEMM over every stream's
+    shortlisted windows (:func:`segment_autocorrelation_scores_multi`),
+    then the scalar accept logic per stream on the bit-identical
+    correlation arrays and scores.
 
     ``fast=True`` swaps in the non-parity kernels: fused-normalisation
     NCC over one shared transform length and the forced-GEMM candidate
@@ -71,6 +75,10 @@ def detect_preamble_batch(
     sym_len = preamble.config.ofdm.n_fft
     num_symbols = preamble.config.num_symbols
     signs = preamble.config.pn_signs
+    window = stride * num_symbols
+    # Shortlist candidates per stream, then score every stream's
+    # windows in a single stacked GEMM instead of one call per stream.
+    pending: List[tuple] = []  # (result row, ncc, config, valid starts)
     for k, i in enumerate(eligible):
         cfg = configs[i] or DetectionConfig()
         stream, ncc = streams[i], nccs[k]
@@ -79,11 +87,19 @@ def detect_preamble_batch(
             continue
         order = np.argsort(ncc[candidates])[::-1][: cfg.max_candidates]
         shortlisted = candidates[order]
-        window = stride * num_symbols
         valid = [int(s) for s in shortlisted if int(s) + window <= stream.size]
-        scores = segment_autocorrelation_scores(
-            stream, valid, signs, stride, sym_len, force_gemm=fast
-        )
+        pending.append((i, ncc, cfg, valid))
+    if not pending:
+        return results
+    batch_scores = segment_autocorrelation_scores_multi(
+        [streams[i] for i, _, _, _ in pending],
+        [valid for _, _, _, valid in pending],
+        signs,
+        stride,
+        sym_len,
+        force_gemm=fast,
+    )
+    for (i, ncc, cfg, valid), scores in zip(pending, batch_scores):
         accepted: List[Detection] = []
         for start, score in zip(valid, scores):
             if score >= cfg.autocorr_threshold:

@@ -420,6 +420,50 @@ def _gemm_matches_dot(num_segments: int, symbol_len: int) -> bool:
     return ok
 
 
+def _gather_windows(
+    stream: np.ndarray,
+    starts: Sequence[int],
+    num_segments: int,
+    symbol_stride: int,
+    symbol_len: int,
+    out: np.ndarray,
+) -> None:
+    """Gather a ``(len(starts), num_segments, symbol_len)`` segment stack
+    into the caller's slab (one fancy-index gather per stream)."""
+    offsets = np.asarray(starts, dtype=np.int64)[:, None] + (
+        np.arange(num_segments, dtype=np.int64) * symbol_stride
+    )
+    out[...] = np.lib.stride_tricks.sliding_window_view(stream, symbol_len)[offsets]
+
+
+def _gemm_gate_scores(W: np.ndarray, signs: Sequence[int]) -> np.ndarray:
+    """Batched-GEMM gate scores for a ``(K, segments, symbol_len)`` stack.
+
+    ``matmul`` over a 3-D stack runs one independent GEMM per slice, so
+    each candidate's score depends only on its own windows — stacking
+    candidates from *many streams* into one call changes nothing per
+    candidate (the cross-stream single-GEMM gate relies on this).
+    """
+    num_segments = W.shape[1]
+    G = W @ W.transpose(0, 2, 1)
+    idx = np.arange(num_segments)
+    norms = np.sqrt(G[:, idx, idx])
+    degenerate = (norms <= 1e-12).any(axis=1)
+    safe = np.where(norms > 1e-12, norms, 1.0)
+    U = W / safe[:, :, None]
+    G2 = U @ U.transpose(0, 2, 1)
+    total = np.zeros(W.shape[0])
+    count = 0
+    for a in range(num_segments):
+        for b in range(a + 1, num_segments):
+            pair = G2[:, a, b]
+            total = total + (pair if signs[a] * signs[b] == 1 else -pair)
+            count += 1
+    scores = total / count
+    scores[degenerate] = 0.0
+    return scores
+
+
 def segment_autocorrelation_scores(
     stream: np.ndarray,
     starts: Sequence[int],
@@ -437,43 +481,83 @@ def segment_autocorrelation_scores(
     the batched GEMM path: same mathematics, possibly different last
     ulps on platforms where BLAS accumulates differently from ``ddot``.
     """
-    stream = np.asarray(stream, dtype=float)
+    (scores,) = segment_autocorrelation_scores_multi(
+        [stream], [starts], pn_signs, symbol_stride, symbol_len, force_gemm=force_gemm
+    )
+    return scores
+
+
+def segment_autocorrelation_scores_multi(
+    streams: Sequence[np.ndarray],
+    starts_per_stream: Sequence[Sequence[int]],
+    pn_signs,
+    symbol_stride: int,
+    symbol_len: int,
+    force_gemm: bool = False,
+) -> List[np.ndarray]:
+    """Candidate-gate scores for *all streams of a flush* in one GEMM.
+
+    The per-stream gate used to issue one batched ``matmul`` per stream
+    (~0.8 ms/exchange of fixed BLAS/dispatch overhead each).  Here every
+    stream's candidate windows are gathered into a single
+    ``(sum(K_i), segments, symbol_len)`` stack and scored by one
+    :func:`_gemm_gate_scores` call, then split back per stream.  Because
+    ``matmul`` runs an independent GEMM per slice, each candidate's
+    score is bit-identical to the per-stream call's — the parity
+    backends share this path whenever the :func:`_gemm_matches_dot`
+    probe passes, and fall back to the per-candidate scalar reductions
+    (exact :func:`segment_autocorrelation_fast`) where it does not.
+    ``force_gemm`` (the fast backend) skips the probe.
+    """
+    if len(streams) != len(starts_per_stream):
+        raise ValueError("streams and starts_per_stream must align")
     signs = list(pn_signs)
     num_segments = len(signs)
-    K = len(starts)
-    if K == 0:
-        return np.zeros(0)
+    counts = [len(starts) for starts in starts_per_stream]
+    total = sum(counts)
+    if total == 0:
+        return [np.zeros(0) for _ in counts]
     if not force_gemm and not _gemm_matches_dot(num_segments, symbol_len):
         needed = symbol_stride * num_segments
-        return np.array(
-            [
-                segment_autocorrelation_fast(
-                    stream[int(s) : int(s) + needed], signs, symbol_stride, symbol_len
+        out = []
+        for stream, starts in zip(streams, starts_per_stream):
+            stream = np.asarray(stream, dtype=float)
+            out.append(
+                np.array(
+                    [
+                        segment_autocorrelation_fast(
+                            stream[int(s) : int(s) + needed],
+                            signs,
+                            symbol_stride,
+                            symbol_len,
+                        )
+                        for s in starts
+                    ]
                 )
-                for s in starts
-            ]
+            )
+        return out
+    W = np.empty((total, num_segments, symbol_len))
+    pos = 0
+    for stream, starts in zip(streams, starts_per_stream):
+        if not len(starts):
+            continue
+        stream = np.asarray(stream, dtype=float)
+        _gather_windows(
+            stream,
+            starts,
+            num_segments,
+            symbol_stride,
+            symbol_len,
+            out=W[pos : pos + len(starts)],
         )
-    offsets = np.asarray(starts, dtype=np.int64)[:, None] + (
-        np.arange(num_segments, dtype=np.int64) * symbol_stride
-    )
-    W = np.lib.stride_tricks.sliding_window_view(stream, symbol_len)[offsets]
-    G = W @ W.transpose(0, 2, 1)
-    idx = np.arange(num_segments)
-    norms = np.sqrt(G[:, idx, idx])
-    degenerate = (norms <= 1e-12).any(axis=1)
-    safe = np.where(norms > 1e-12, norms, 1.0)
-    U = W / safe[:, :, None]
-    G2 = U @ U.transpose(0, 2, 1)
-    total = np.zeros(K)
-    count = 0
-    for a in range(num_segments):
-        for b in range(a + 1, num_segments):
-            pair = G2[:, a, b]
-            total = total + (pair if signs[a] * signs[b] == 1 else -pair)
-            count += 1
-    scores = total / count
-    scores[degenerate] = 0.0
-    return scores
+        pos += len(starts)
+    scores = _gemm_gate_scores(W, signs)
+    out = []
+    pos = 0
+    for k in counts:
+        out.append(scores[pos : pos + k])
+        pos += k
+    return out
 
 
 def sliding_autocorrelation_batch(

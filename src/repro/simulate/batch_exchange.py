@@ -32,7 +32,7 @@ from scipy import signal as sp_signal
 from repro.channel.multipath import image_method_tap_arrays
 from repro.channel.noise import bandpass_sos, spiky_noise, synth_noise_rows
 from repro.channel.occlusion import occlusion_gain_array
-from repro.channel.render import CachedWaveform, apply_channel_batch
+from repro.channel.render import CachedWaveform, apply_channel_batch, fir_length_for
 from repro.signals.batchcorr import fft_workers
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
@@ -118,9 +118,10 @@ class BatchExchangeRenderer:
     generator only provides the sound-speed and fluctuation draws,
     while ambient/hardware noise is synthesised in the frequency domain
     from a dedicated :func:`spawn_substream` of the first ``add``'s
-    generator (still fully deterministic per seed); channel FIRs are
-    right-sized to the tap span instead of the legacy over-length, and
-    Phase B uses one shared transform length with threaded FFTs.  See
+    generator (still fully deterministic per seed), and Phase B uses one
+    shared transform length with threaded FFTs.  Channel FIRs are
+    right-sized via :func:`repro.channel.render.fir_length_for` in
+    *every* mode (the one sizing contract since parity epoch 2).  See
     DESIGN.md §7 for the equivalence contract.
     """
 
@@ -204,16 +205,14 @@ class BatchExchangeRenderer:
             body_length = preamble_len + int(max_delay * fs) + tail
             stream_length = guard + body_length
             hw_rms = float(config.rx_model.mic_noise_rms[mic_index])
+            # One FIR-sizing contract for every backend (parity epoch 2):
+            # the tap span alone bounds the FIR; mirrors apply_channel's
+            # min(output_length, fir_length_for) truncation.
+            fir_length = min(body_length, fir_length_for(max_delay, fs))
             if self.fast:
-                # Right-sized FIR: the tap span alone bounds the FIR —
-                # the legacy length adds the (irrelevant) wave length,
-                # inflating every convolution's transform.
-                fir_length = int(np.ceil(max_delay * fs)) + 2
                 spike = spiky_noise(stream_length, env.noise, self._noise_rng, fs)
                 white = hw = None
             else:
-                default_len = preamble_len + int(np.ceil(max_delay * fs)) + 2
-                fir_length = min(body_length, default_len)
                 white = rng.standard_normal(stream_length)
                 spike = spiky_noise(stream_length, env.noise, rng, fs)
                 hw = hw_rms * rng.standard_normal(stream_length)

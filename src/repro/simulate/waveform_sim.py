@@ -349,6 +349,9 @@ def simulate_reception(
         taps = _with_case_multipath(taps, config.rx_model)
         wave = config.amplitude * config.tx_model.source_level * preamble.waveform
         tail = int(0.08 * fs)
+        # apply_channel right-sizes the channel FIR internally via the
+        # shared fir_length_for contract (parity epoch 2); the output
+        # length below is the *stream body* axis, not the FIR size.
         body = apply_channel(
             wave,
             taps,

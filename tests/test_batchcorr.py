@@ -17,6 +17,7 @@ from repro.channel.render import (
     CachedWaveform,
     apply_channel,
     apply_channel_batch,
+    fir_length_for,
     render_taps,
     render_taps_positions,
 )
@@ -157,6 +158,37 @@ class TestSegmentAutocorrelationParity:
             )
             assert want == score
 
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), force_gemm=st.booleans())
+    def test_multi_stream_gate_matches_per_stream_calls(self, seed, force_gemm):
+        """Stacking many streams' windows into one GEMM changes no bits."""
+        rng = _rng(seed)
+        stride, symbol_len = 60, 48
+        signs = (1, 1, -1, 1)
+        needed = stride * 4
+        streams, starts = [], []
+        for _ in range(int(rng.integers(1, 6))):
+            stream = rng.standard_normal(needed + int(rng.integers(0, 400)))
+            k = int(rng.integers(0, 6))
+            streams.append(stream)
+            starts.append(
+                [int(s) for s in rng.integers(0, stream.size - needed + 1, size=k)]
+            )
+        multi = batchcorr.segment_autocorrelation_scores_multi(
+            streams, starts, signs, stride, symbol_len, force_gemm=force_gemm
+        )
+        assert len(multi) == len(streams)
+        for stream, st_row, got in zip(streams, starts, multi):
+            want = batchcorr.segment_autocorrelation_scores(
+                stream, st_row, signs, stride, symbol_len, force_gemm=force_gemm
+            )
+            assert np.array_equal(want, got)
+            if not force_gemm:
+                for start, score in zip(st_row, got):
+                    assert score == segment_autocorrelation(
+                        stream[start : start + needed], signs, stride, symbol_len
+                    )
+
     def test_degenerate_segment_scores_zero(self):
         stride, symbol_len = 8, 8
         window = np.zeros(stride * 4)
@@ -211,9 +243,8 @@ class TestRenderParity:
         fir_lengths = []
         firs = []
         for taps, n in zip(taps_rows, outputs):
-            max_delay = max(t.delay_s for t in taps)
-            default_len = wave.size + int(np.ceil(max_delay * fs)) + 2
-            fir_len = min(n, default_len)
+            # The one sizing contract apply_channel uses internally.
+            fir_len = min(n, fir_length_for(taps, fs))
             fir_lengths.append(fir_len)
             firs.append(render_taps(taps, fs, length=fir_len))
         got = apply_channel_batch(cached, firs, fir_lengths, outputs)
@@ -224,6 +255,64 @@ class TestRenderParity:
         taps = [PathTap(0.001, 1.0), PathTap(0.0013, -0.5)]
         fir = render_taps(taps, 44_100.0)
         assert fir.size >= 2 and np.count_nonzero(fir) >= 2
+
+
+class TestFirRightSizingEquivalence:
+    """Satellite: the epoch-2 FIR fix is a pure FFT-length change.
+
+    The pre-epoch-2 FIR was the right-sized FIR plus ``wave.size``
+    trailing zeros: the rendered taps agree bit for bit on the shared
+    prefix, and the convolution outputs agree to FFT rounding.  The only
+    thing the bugfix changed is the transform length — exactly the
+    deviation the parity-epoch-2 baseline reset absorbs.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_taps=st.integers(1, 25))
+    def test_old_long_fir_is_right_sized_fir_plus_zeros(self, seed, n_taps):
+        rng = _rng(seed)
+        fs = 44_100.0
+        wave_size = int(rng.integers(8, 300))
+        taps = [
+            PathTap(float(d), float(a))
+            for d, a in zip(rng.uniform(0.0, 0.02, n_taps), rng.standard_normal(n_taps))
+        ]
+        fir_len = fir_length_for(taps, fs)
+        old_len = wave_size + int(np.ceil(max(t.delay_s for t in taps) * fs)) + 2
+        long_fir = render_taps(taps, fs, length=old_len)
+        short_fir = render_taps(taps, fs, length=fir_len)
+        assert np.array_equal(long_fir[:fir_len], short_fir)
+        assert not long_fir[fir_len:].any()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_taps=st.integers(1, 25))
+    def test_output_matches_old_long_fir_result_truncated(self, seed, n_taps):
+        from scipy.signal import fftconvolve
+
+        rng = _rng(seed)
+        fs = 44_100.0
+        wave = rng.standard_normal(int(rng.integers(8, 300)))
+        taps = [
+            PathTap(float(d), float(a))
+            for d, a in zip(rng.uniform(0.0, 0.02, n_taps), rng.standard_normal(n_taps))
+        ]
+        old_len = wave.size + int(np.ceil(max(t.delay_s for t in taps) * fs)) + 2
+        # Random output length around the natural sizes, plus the
+        # default (None) axis — the pre-fix default had the same value.
+        n = (
+            None
+            if rng.integers(0, 2) == 0
+            else int(rng.integers(4, old_len + 40))
+        )
+        want_n = old_len if n is None else n
+        old_fir = render_taps(taps, fs, length=min(want_n, old_len))
+        want = fftconvolve(wave, old_fir, mode="full")[:want_n]
+        if want.size < want_n:
+            want = np.pad(want, (0, want_n - want.size))
+        got = apply_channel(wave, taps, fs, output_length=n)
+        assert got.shape == want.shape
+        scale = float(np.abs(want).max()) if want.size else 0.0
+        assert np.allclose(got, want, rtol=0.0, atol=1e-9 * (scale + 1.0))
 
 
 class TestImageMethodArrays:

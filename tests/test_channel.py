@@ -8,7 +8,12 @@ from repro.channel.environment import BOATHOUSE, DOCK, ENVIRONMENTS, SWIMMING_PO
 from repro.channel.multipath import PathTap, delay_spread, image_method_taps
 from repro.channel.noise import NoiseModel, ambient_noise, make_noise, spiky_noise
 from repro.channel.occlusion import Occlusion, apply_occlusion
-from repro.channel.render import apply_channel, directivity_gain, render_taps
+from repro.channel.render import (
+    apply_channel,
+    directivity_gain,
+    fir_length_for,
+    render_taps,
+)
 
 
 class TestImageMethod:
@@ -195,6 +200,72 @@ class TestRender:
     def test_apply_channel_empty_taps_rejected(self):
         with pytest.raises(ValueError):
             apply_channel(np.ones(10), [], 44_100.0)
+
+    def test_fir_length_for_is_the_shared_sizing_contract(self):
+        fs = 44_100.0
+        taps = [
+            PathTap(delay_s=10.25 / fs, amplitude=1.0),
+            PathTap(delay_s=30.0 / fs, amplitude=-0.5),
+        ]
+        # Just covers the last tap's interpolation pair; equals the
+        # natural render_taps length; accepts a bare max-delay scalar.
+        assert fir_length_for(taps, fs) == 32
+        assert fir_length_for(taps, fs) == render_taps(taps, fs).size
+        assert fir_length_for(30.0 / fs, fs) == 32
+        with pytest.raises(ValueError):
+            fir_length_for([], fs)
+        with pytest.raises(ValueError):
+            fir_length_for(taps, fs, reference_delay_s=1.0)
+
+    def test_apply_channel_output_length_contract(self):
+        """Satellite regression: output_length shorter / equal / longer
+        than the natural full-convolution length."""
+        fs = 44_100.0
+        rng = np.random.default_rng(42)
+        wave = rng.standard_normal(120)
+        taps = [
+            PathTap(delay_s=10.25 / fs, amplitude=1.0),
+            PathTap(delay_s=30.0 / fs, amplitude=-0.5),
+        ]
+        fir_len = fir_length_for(taps, fs)
+        natural = wave.size + fir_len - 1
+        full = apply_channel(wave, taps, fs, output_length=natural)
+        assert full.size == natural
+
+        # Shorter (but still covering the FIR): bit-exact prefix.
+        shorter = apply_channel(wave, taps, fs, output_length=natural - 7)
+        assert np.array_equal(shorter, full[: natural - 7])
+
+        # Shorter than the FIR itself: here the dropped tap (at sample
+        # 30) lies wholly beyond the cut, so the prefix is unchanged up
+        # to the smaller transform's rounding.
+        tiny = apply_channel(wave, taps, fs, output_length=20)
+        assert tiny.size == 20
+        assert np.allclose(tiny, full[:20], atol=1e-12)
+
+        # A fractional tap *straddling* the cut is dropped whole —
+        # render_taps keeps a tap only when both interpolation samples
+        # fit — so the final retained sample loses that tap's
+        # sub-sample fraction (the documented historic semantics).
+        impulse = np.zeros(4)
+        impulse[0] = 1.0
+        straddle = [PathTap(delay_s=19.5 / fs, amplitude=1.0)]
+        kept = apply_channel(impulse, straddle, fs, output_length=21)
+        cut = apply_channel(impulse, straddle, fs, output_length=20)
+        assert kept[19] == pytest.approx(0.5)  # half the tap lands at 19
+        assert cut[19] == pytest.approx(0.0)  # tap dropped whole at the cut
+
+        # Longer: the tail is exactly zero — the channel output of a
+        # finite waveform through a finite FIR *is* zero there, so the
+        # pad is the consistent extension of the time axis.
+        longer = apply_channel(wave, taps, fs, output_length=natural + 25)
+        assert longer.size == natural + 25
+        assert np.array_equal(longer[:natural], full)
+        assert not longer[natural:].any()
+
+        # Default output length: one sample past the natural length
+        # (the historic time axis, preserved across the epoch-2 fix).
+        assert apply_channel(wave, taps, fs).size == wave.size + fir_len
 
     def test_directivity_peak_on_axis(self):
         on_axis = directivity_gain(0.0, np.pi / 2, 0.0, np.pi / 2)

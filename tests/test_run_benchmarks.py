@@ -107,3 +107,39 @@ def test_regression_gate_skips_timer_noise_figures(check_module):
     baseline = {"figures": {"fig22": {"legacy": 0.005, "batch": 0.004, "speedup": 1.4}}}
     tiny = {"figures": {"fig22": {"legacy": 0.004, "batch": 0.01, "speedup": 0.4}}}
     assert check_module.check(baseline, tiny, min_seconds=0.05) == []
+
+
+def test_regression_gate_fails_on_ungated_new_figure(check_module):
+    """Satellite: a figure only the current artifact knows about used to
+    slip past the gate entirely (the loop iterated baseline figures)."""
+    baseline = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7}}}
+    current = {
+        "figures": {
+            "fig11": {"legacy": 1.0, "batch": 0.7, "speedup": 1.45},
+            "fig99": {"legacy": 2.0, "batch": 0.2, "speedup": 10.0},
+        }
+    }
+    violations = check_module.check(baseline, current)
+    assert any("fig99" in v and "missing from the baseline" in v for v in violations)
+    # Even a *slow* new figure is only reported, never speed-gated,
+    # which is exactly why its absence from the baseline must fail.
+    assert not any("fig99" in v and "below" in v for v in violations)
+    assert check_module.check(baseline, current, allow_new_figures=True) == []
+    # An *errored* new figure fails even on the introducing run.
+    current["figures"]["fig99"] = {"error": "boom"}
+    violations = check_module.check(baseline, current, allow_new_figures=True)
+    assert any("fig99" in v and "errored" in v for v in violations)
+
+
+def test_regression_gate_allow_new_figures_cli_flag(check_module, tmp_path, capsys):
+    baseline = tmp_path / "base.json"
+    current = tmp_path / "cur.json"
+    baseline.write_text(json.dumps({"figures": {}}))
+    current.write_text(
+        json.dumps({"figures": {"fig99": {"legacy": 2.0, "batch": 1.0, "speedup": 2.0}}})
+    )
+    argv = ["--baseline", str(baseline), "--current", str(current)]
+    assert check_module.main(argv) == 1
+    assert "missing from the baseline" in capsys.readouterr().out
+    assert check_module.main(argv + ["--allow-new-figures"]) == 0
+    assert "new figure" in capsys.readouterr().out
