@@ -21,7 +21,14 @@ the committed baseline and fails (exit 1) when:
   ``--max-regression`` (default 25%) relative to the baseline;
 * the fast backend (when recorded) falls below ``--min-speedup`` or
   regresses more than ``--max-regression`` against a baseline that also
-  recorded it.
+  recorded it;
+* the flush-pipeline executor A/B (``speedup_pipeline`` =
+  sequential/pipelined flush, when recorded) falls below
+  ``--min-pipeline-speedup`` (default 0.75x — a single-core host cannot
+  be required to show a gain, and its two pipeline threads genuinely
+  contend; the floor only catches a pipeline that has become grossly
+  more expensive than synchronous flushing) or regresses more than
+  ``--max-regression`` against a baseline that recorded it.
 
 Figures whose current legacy time is under ``--min-seconds`` (default
 0.05 s, e.g. fig22 at smoke scales) are reported but not gated — at
@@ -53,6 +60,7 @@ def check(
     current: Dict,
     max_regression: float = 0.25,
     min_speedup: float = 1.0,
+    min_pipeline_speedup: float = 0.75,
     min_seconds: float = 0.05,
     allow_new_figures: bool = False,
 ) -> List[str]:
@@ -94,7 +102,12 @@ def check(
                 f"{min_seconds:.2f}s, too small to gate (informational only)"
             )
             continue
-        for key, label in (("speedup", "batch"), ("speedup_fast", "fast")):
+        gates = (
+            ("speedup", "batch", min_speedup),
+            ("speedup_fast", "fast", min_speedup),
+            ("speedup_pipeline", "pipeline", min_pipeline_speedup),
+        )
+        for key, label, floor_speedup in gates:
             cur_speedup = cur.get(key)
             if cur_speedup is None:
                 if key == "speedup":
@@ -102,10 +115,10 @@ def check(
                 continue
             cur_speedup = float(cur_speedup)
             parts = [f"{name}/{label}: {cur_speedup:.2f}x"]
-            if cur_speedup < min_speedup:
+            if cur_speedup < floor_speedup:
                 violations.append(
                     f"{name}: {label} speedup {cur_speedup:.2f}x below the "
-                    f"{min_speedup:.2f}x floor"
+                    f"{floor_speedup:.2f}x floor"
                 )
             base_speedup = base.get(key)
             if base_speedup is not None:
@@ -127,8 +140,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
-        default="BENCH_PR5.json",
-        help="committed baseline artifact (default: BENCH_PR5.json)",
+        default="BENCH_PR6.json",
+        help="committed baseline artifact (default: BENCH_PR6.json)",
     )
     parser.add_argument(
         "--allow-new-figures",
@@ -151,6 +164,16 @@ def main(argv=None) -> int:
         help="absolute speedup floor for every gated figure (default 1.0)",
     )
     parser.add_argument(
+        "--min-pipeline-speedup",
+        type=float,
+        default=0.75,
+        help=(
+            "absolute floor for the flush-pipeline executor A/B "
+            "(default 0.75: single-core hosts pay real thread contention; "
+            "the floor only catches a grossly regressed pipeline)"
+        ),
+    )
+    parser.add_argument(
         "--min-seconds",
         type=float,
         default=0.05,
@@ -166,6 +189,7 @@ def main(argv=None) -> int:
         current,
         max_regression=args.max_regression,
         min_speedup=args.min_speedup,
+        min_pipeline_speedup=args.min_pipeline_speedup,
         min_seconds=args.min_seconds,
         allow_new_figures=args.allow_new_figures,
     )

@@ -52,24 +52,74 @@ def bench_figure(name: str, scale: float, repeats: int = 3) -> Dict[str, object]
     spec = engine.get_spec(name)
     entry = spec.resolve_entry()
     timings: Dict[str, object] = {}
-    for backend in BACKENDS:
+    # The executor A/B: "batch"/"fast" run with the default pipelined
+    # flush (Phase B overlaps the next chunk's Phase A), while
+    # "batch_sequential" forces pipeline=0 — the pre-pipeline executor.
+    cases = [(b, {}) for b in BACKENDS]
+    cases.append(("batch_sequential", {"backend": "batch", "pipeline": 0}))
+    for label, overrides in cases:
+        kwargs = {"backend": label, **overrides}
         try:
             # Best-of-N with a fresh substream per repeat (identical
             # workload each time): these ratios feed the CI regression
             # gate, so a single GC pause must not fail a build.
-            timings[backend] = _time_call(
-                lambda: entry(
-                    engine.experiment_rng(name), scale=scale, backend=backend
-                ),
+            timings[label] = _time_call(
+                lambda: entry(engine.experiment_rng(name), scale=scale, **kwargs),
                 repeats,
             )
         except Exception:
             timings["error"] = (
-                f"backend {backend!r} raised:\n{traceback.format_exc(limit=8)}"
+                f"case {label!r} raised:\n{traceback.format_exc(limit=8)}"
             )
             return timings
     timings["speedup"] = timings["legacy"] / timings["batch"]
     timings["speedup_fast"] = timings["legacy"] / timings["fast"]
+    timings["speedup_pipeline"] = timings["batch_sequential"] / timings["batch"]
+    return timings
+
+
+#: Figures the campaign-level A/B runs (chunkable, so --workers can
+#: parallelise trials inside each experiment).
+CAMPAIGN_FIGURES = ("fig11", "fig12", "fig13", "fig14", "fig15")
+
+
+def bench_campaign(
+    scale: float,
+    workers: int = 4,
+    trial_chunks: int = 4,
+    backend: str = "fast",
+) -> Dict[str, object]:
+    """End-to-end campaign wall clock: serial vs the persistent pool.
+
+    Both runs use the same ``(base_seed, trial_chunks)`` so their
+    artifacts are byte-identical (tests/test_executor.py pins this);
+    the only variable is the executor.  Recorded, not gated: the
+    worker-count speedup is a property of the host's core count.
+    """
+    timings: Dict[str, object] = {
+        "figures": list(CAMPAIGN_FIGURES),
+        "workers": workers,
+        "trial_chunks": trial_chunks,
+        "backend": backend,
+    }
+
+    def _run(n_workers: int) -> None:
+        engine.run_campaign(
+            list(CAMPAIGN_FIGURES),
+            scale=scale,
+            workers=n_workers,
+            trial_chunks=trial_chunks,
+            backend=backend,
+        )
+
+    try:
+        timings["serial"] = _time_call(lambda: _run(1))
+        timings["parallel"] = _time_call(lambda: _run(workers))
+        timings["speedup_workers"] = timings["serial"] / timings["parallel"]
+    except Exception:
+        timings["error"] = f"campaign raised:\n{traceback.format_exc(limit=8)}"
+    finally:
+        engine.shutdown_pool()
     return timings
 
 
@@ -185,6 +235,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-kernels", action="store_true", help="skip the kernel micro-benchmarks"
     )
+    parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help="also time the end-to-end campaign: serial vs --workers pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for --campaign"
+    )
     args = parser.parse_args(argv)
 
     doc = {
@@ -206,6 +264,9 @@ def main(argv=None) -> int:
             "(power-of-two/5-smooth shared FFT sizes, fused NCC, "
             "frequency-domain noise, right-sized FIRs) under the statistical "
             "equivalence contract of tests/test_fast_equivalence.py. "
+            "batch_sequential disables the Phase-A/Phase-B flush pipeline "
+            "(pipeline=0); speedup_pipeline = batch_sequential/batch is the "
+            "executor A/B (bit-identical outputs either way). "
             "Kernel-level rows isolate the rewritten hot loops."
         ),
     }
@@ -220,9 +281,24 @@ def main(argv=None) -> int:
             continue
         print(
             f"  legacy {fig['legacy']:.2f}s  batch {fig['batch']:.2f}s  "
-            f"fast {fig['fast']:.2f}s  speedup {fig['speedup']:.2f}x "
-            f"(fast {fig['speedup_fast']:.2f}x)"
+            f"fast {fig['fast']:.2f}s  seq-flush {fig['batch_sequential']:.2f}s  "
+            f"speedup {fig['speedup']:.2f}x "
+            f"(fast {fig['speedup_fast']:.2f}x, "
+            f"pipeline {fig['speedup_pipeline']:.2f}x)"
         )
+    if args.campaign:
+        print(f"timing campaign (workers {args.workers}) ...", flush=True)
+        doc["campaign"] = bench_campaign(args.scale, workers=args.workers)
+        camp = doc["campaign"]
+        if "error" in camp:
+            failures.append("campaign")
+            print(f"  FAILED: {camp['error']}")
+        else:
+            print(
+                f"  serial {camp['serial']:.2f}s  "
+                f"workers={args.workers} {camp['parallel']:.2f}s  "
+                f"speedup {camp['speedup_workers']:.2f}x"
+            )
     if not args.skip_kernels:
         print("timing kernels ...", flush=True)
         doc["kernels"] = bench_kernels()

@@ -156,6 +156,23 @@ def _band_gain_shape(num_samples: int, sample_rate: float) -> np.ndarray:
     return gain / np.sqrt(mean_power)
 
 
+def synth_noise_shape(lengths) -> tuple:
+    """Shape of the normal block :func:`synth_noise_rows` draws.
+
+    Lets a producer pre-draw the block at the exact point in its
+    substream where a sequential flush would have drawn it, before
+    handing the RNG-free shaping to a consumer thread.
+    """
+    from scipy.fft import next_fast_len
+
+    lengths = [int(n) for n in lengths]
+    rows = len(lengths)
+    if rows == 0 or max(lengths) <= 0:
+        return (rows, 0, 2)
+    nf = next_fast_len(max(lengths), True)
+    return (rows, nf // 2 + 1, 2)
+
+
 def synth_noise_rows(
     lengths,
     ambient_rms,
@@ -163,6 +180,7 @@ def synth_noise_rows(
     rng: np.random.Generator,
     sample_rate: float = SAMPLE_RATE,
     workers: int | None = None,
+    z: np.ndarray | None = None,
 ) -> np.ndarray:
     """Frequency-domain synthesis of ambient + hardware noise (fast mode).
 
@@ -184,6 +202,12 @@ def synth_noise_rows(
     The synthesis length is padded to a 5-smooth size (a window into a
     stationary process is the same process), keeping the inverse
     transform on a fast path.
+
+    ``z`` optionally supplies that normal block pre-drawn (shape
+    ``(rows, nf//2 + 1, 2)``, see :func:`synth_noise_shape`): the
+    pipelined executor draws it at the flush point on the producer
+    thread so the substream's consumption order is bit-identical to a
+    sequential run, then ships only the RNG-free shaping here.
     """
     from scipy.fft import irfft, next_fast_len
 
@@ -205,7 +229,13 @@ def synth_noise_rows(
         key = (float(a), float(h))
         if key not in levels:
             levels[key] = np.sqrt((a * gain) ** 2 + h**2) * np.sqrt(nf / 2.0)
-    z = rng.standard_normal((rows, gain.size, 2))
+    if z is None:
+        z = rng.standard_normal((rows, gain.size, 2))
+    elif z.shape != (rows, gain.size, 2):
+        raise ValueError(
+            f"pre-drawn noise block has shape {z.shape}, "
+            f"expected {(rows, gain.size, 2)}"
+        )
     spectrum = z[..., 0] + 1j * z[..., 1]
     for r, (a, h) in enumerate(zip(amb, hw)):
         spectrum[r] *= levels[(float(a), float(h))]

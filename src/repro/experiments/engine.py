@@ -24,13 +24,13 @@ as order-independent without perturbing the declared variants.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import importlib
 import json
 import time
 import traceback
 import zlib
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -455,6 +455,7 @@ def _execute(
     base_seed: int,
     scale: float,
     chunk: Optional[Tuple[int, int]] = None,
+    pipeline: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one (experiment, variant[, chunk]) job; module-level so
     workers can run it.
@@ -462,6 +463,11 @@ def _execute(
     A chunk job draws from ``variant_seed.spawn(total)[index]`` — a
     deterministic function of (base_seed, experiment, variant, chunk)
     only, so chunked campaigns are byte-identical for any worker count.
+
+    ``pipeline`` overrides the flush-pipeline depth for waveform
+    experiments (those declaring ``backends``).  It is an execution
+    knob, not a parameter: results are bit-identical at every depth, so
+    it is deliberately kept out of the recorded ``params``.
     """
     spec = get_spec(name)
     seed_seq = variant_seed_sequence(name, variant_name, base_seed)
@@ -469,6 +475,8 @@ def _execute(
     if chunk is not None:
         seed_seq = seed_seq.spawn(chunk[1])[chunk[0]]
         kwargs["chunk"] = chunk
+    if pipeline is not None and spec.backends:
+        kwargs["pipeline"] = pipeline
     rng = np.random.default_rng(seed_seq)
     start = time.perf_counter()
     raw = None
@@ -496,6 +504,95 @@ def _execute(
         chunk=chunk,
         raw=raw,
     )
+
+
+def _execute_job(payload: Tuple) -> ExperimentResult:
+    """Worker-side wrapper: run one job, park large raw arrays in shm.
+
+    ``payload`` is ``(name, variant, params, base_seed, scale, chunk,
+    pipeline)``.  The result crosses the pipe with big per-trial arrays
+    replaced by shared-memory descriptors (:func:`repro.experiments.pool
+    .shm_export`); the parent's :meth:`WorkerPool.map` resolves them
+    back before the result reaches the merge stream.
+    """
+    from repro.experiments.pool import shm_export
+
+    name, variant, params, base_seed, scale, chunk, pipeline = payload
+    result = _execute(name, variant, params, base_seed, scale, chunk, pipeline)
+    if result.raw is not None:
+        result = dataclasses.replace(result, raw=shm_export(result.raw))
+    return result
+
+
+def _failure_result(
+    job: Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]],
+    message: str,
+    base_seed: int,
+) -> ExperimentResult:
+    """A ``status="error"`` result for a job whose worker died.
+
+    Mirrors what :func:`_execute` would have returned on an in-process
+    exception — same spawn key (including the chunk spawn), same chunk
+    coordinates so :func:`_merge_stream` groups it correctly — with the
+    pool's diagnostic as the recorded error.
+    """
+    name, variant_name, params, chunk = job
+    spec = get_spec(name)
+    seed_seq = variant_seed_sequence(name, variant_name, base_seed)
+    if chunk is not None:
+        seed_seq = seed_seq.spawn(chunk[1])[chunk[0]]
+    return ExperimentResult(
+        experiment=name,
+        variant=variant_name,
+        title=spec.title,
+        paper_ref=spec.paper_ref,
+        params=params,
+        base_seed=base_seed,
+        spawn_key=tuple(int(k) for k in seed_seq.spawn_key),
+        status="error",
+        measured={},
+        paper=dict(spec.paper),
+        report="",
+        wall_time_s=0.0,
+        error=message,
+        chunk=chunk,
+    )
+
+
+#: The process-wide campaign pool: ``(worker_count, WorkerPool)``.
+#: Persistent across campaigns — re-running figs pays process startup
+#: once, not per call — and rebuilt only when the requested worker
+#: count changes.
+_POOL: Optional[Tuple[int, Any]] = None
+
+
+def _campaign_pool(workers: int):
+    global _POOL
+    if _POOL is not None and _POOL[0] != workers:
+        shutdown_pool()
+    if _POOL is None:
+        from repro.experiments.pool import WorkerPool
+
+        _POOL = (workers, WorkerPool(workers, _execute_job))
+    return _POOL[1]
+
+
+def shutdown_pool() -> None:
+    """Stop the persistent campaign workers (no-op when none exist).
+
+    Also the hook for tests that monkeypatch the registry: workers
+    inherit the registry at fork time, so patch, ``shutdown_pool()``,
+    then run — the next campaign forks fresh workers that see the
+    patched state.
+    """
+    global _POOL
+    if _POOL is not None:
+        pool = _POOL[1]
+        _POOL = None
+        pool.shutdown()
+
+
+atexit.register(shutdown_pool)
 
 
 def _merge_chunk_group(group: List[ExperimentResult]) -> ExperimentResult:
@@ -575,20 +672,30 @@ def run_campaign(
     sweep: Optional[Mapping[str, Sequence[Any]]] = None,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    pipeline: Optional[int] = None,
     progress: Optional[Callable[[ExperimentResult], None]] = None,
 ) -> List[ExperimentResult]:
     """Run the selected experiments (all by default), serial or parallel.
 
     Results come back in deterministic job order regardless of
     ``workers``; a failing experiment yields a ``status="error"``
-    result instead of aborting the campaign.  ``trial_chunks > 1``
+    result instead of aborting the campaign — including when the worker
+    *process* dies (OOM kill, segfault, stray ``SystemExit``): the dead
+    worker's in-flight job is the only casualty, surviving jobs run on
+    a replacement worker (one fresh pool's worth of replacements before
+    remaining jobs drain as errors).  ``trial_chunks > 1``
     splits chunkable experiments into that many trial-chunk jobs (each
     on its own spawned substream) and merges them after execution:
     ``--workers`` then parallelises inside an experiment, and the
     artifact depends only on ``(base_seed, trial_chunks)`` — never on
-    the worker count.  ``backend`` selects the waveform backend for the
-    whole campaign; every selected experiment must declare it in its
-    capability flags.
+    the worker count.  Parallel runs go through a persistent
+    shared-memory worker pool (:mod:`repro.experiments.pool`) that
+    outlives the campaign; call :func:`shutdown_pool` to retire it.
+    ``backend`` selects the waveform backend for the whole campaign;
+    every selected experiment must declare it in its capability flags.
+    ``pipeline`` sets the Phase-A/Phase-B flush-pipeline depth for
+    waveform experiments (``None`` = the ``REPRO_PIPELINE_DEPTH``
+    default); artifacts are bit-identical at every depth.
     """
     load_registry()
     selected = list(names) if names else [n for n in CANONICAL_ORDER if n in _REGISTRY]
@@ -612,15 +719,23 @@ def run_campaign(
 
     if workers <= 1:
         return _collect(
-            _execute(name, variant, params, base_seed, scale, chunk)
+            _execute(name, variant, params, base_seed, scale, chunk, pipeline)
             for name, variant, params, chunk in jobs
         )
-    with ProcessPoolExecutor(max_workers=min(workers, max(len(jobs), 1))) as pool:
-        futures = [
-            pool.submit(_execute, name, variant, params, base_seed, scale, chunk)
-            for name, variant, params, chunk in jobs
-        ]
-        return _collect(future.result() for future in futures)
+    from repro.experiments.pool import WorkerCrash
+
+    pool = _campaign_pool(workers)
+    payloads = [
+        (name, variant, params, base_seed, scale, chunk, pipeline)
+        for name, variant, params, chunk in jobs
+    ]
+    outcomes = pool.map(payloads)
+    return _collect(
+        _failure_result(job, outcome.message, base_seed)
+        if isinstance(outcome, WorkerCrash)
+        else outcome
+        for job, outcome in zip(jobs, outcomes)
+    )
 
 
 # ---------------------------------------------------------------------------

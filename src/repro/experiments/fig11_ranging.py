@@ -63,6 +63,7 @@ def run_ranging_sweep(
     num_exchanges: int = 60,
     depth_m: float = 2.5,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
 ) -> List[RangingSweepResult]:
     """Fig. 11a: ranging error distribution per separation."""
     engine.check_backend(backend, "fig11")
@@ -70,7 +71,11 @@ def run_ranging_sweep(
     config = ExchangeConfig(environment=DOCK)
     results = []
     for distance in distances_m:
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         errors: List[float] = []
         for _ in range(num_exchanges):
             # Sessions vary slightly in geometry (the paper re-submerged
@@ -320,18 +325,24 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     """Recombine chunked runs: concatenate per-distance trial errors."""
     merged = {
         "sweep": [
-            (distance, [e for raw in raws for e in dict(raw["sweep"])[distance]])
+            (
+                distance,
+                np.concatenate(
+                    [np.asarray(dict(raw["sweep"])[distance]) for raw in raws]
+                ),
+            )
             for distance, _ in raws[0]["sweep"]
         ],
         "ablation": [
             (
                 distance,
                 {
-                    key: [
-                        e
-                        for raw in raws
-                        for e in dict(raw["ablation"])[distance][key]
-                    ]
+                    key: np.concatenate(
+                        [
+                            np.asarray(dict(raw["ablation"])[distance][key])
+                            for raw in raws
+                        ]
+                    )
                     for key in ("both", "bottom", "top")
                 },
             )
@@ -359,16 +370,32 @@ def campaign(
     num_exchanges: int = 40,
     ablation_exchanges: int = 25,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
-    """Fig. 11a sweep plus the Fig. 11b microphone ablation."""
+    """Fig. 11a sweep plus the Fig. 11b microphone ablation.
+
+    Raw chunk payloads carry float64 arrays, not Python lists, so a
+    parallel campaign ships them between processes through shared
+    memory instead of pickling element by element.
+    """
     n_sweep = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
     n_ablation = engine.chunk_share(engine.scaled(ablation_exchanges, scale), chunk)
-    sweep = run_ranging_sweep(rng, num_exchanges=n_sweep, backend=backend)
+    sweep = run_ranging_sweep(
+        rng, num_exchanges=n_sweep, backend=backend, pipeline=pipeline
+    )
     ablation = run_mic_ablation(rng, num_exchanges=n_ablation, backend=backend)
     raw = {
-        "sweep": [(r.distance_m, [float(e) for e in r.errors_m]) for r in sweep],
-        "ablation": [(r.distance_m, r.errors) for r in ablation],
+        "sweep": [
+            (r.distance_m, np.asarray(r.errors_m, dtype=float)) for r in sweep
+        ],
+        "ablation": [
+            (
+                r.distance_m,
+                {k: np.asarray(v, dtype=float) for k, v in r.errors.items()},
+            )
+            for r in ablation
+        ],
     }
     if chunk is not None:
         return engine.ExperimentOutput(measured={}, report="", raw=raw)

@@ -235,7 +235,8 @@ def _baseline_errors(
     num_exchanges: int,
     depth_m: float,
     backend: str,
-) -> Dict[str, List[Tuple[float, List[float]]]]:
+    pipeline: Optional[int] = None,
+) -> Dict[str, List[Tuple[float, np.ndarray]]]:
     """Raw per-algorithm, per-distance errors (chunk-mergeable)."""
     engine.check_backend(backend, "fig12")
     preamble = make_preamble()
@@ -262,7 +263,11 @@ def _baseline_errors(
     chirp_template = CachedTemplate(chirp) if fast else None
 
     for distance in distances_m:
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         noise_rng = spawn_substream(rng) if fast else None
         trial_taps = []
         trial_true = []
@@ -350,7 +355,10 @@ def _baseline_errors(
             errors["ours"][distance] = [m.error_m for m in sim.run()]
 
     return {
-        name: [(float(d), [float(e) for e in errs]) for d, errs in by_distance.items()]
+        name: [
+            (float(d), np.asarray(errs, dtype=float))
+            for d, errs in by_distance.items()
+        ]
         for name, by_distance in errors.items()
     }
 
@@ -546,7 +554,15 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     }
     ranging = {
         name: [
-            (distance, [e for raw in raws for e in dict(raw["ranging"][name])[distance]])
+            (
+                distance,
+                np.concatenate(
+                    [
+                        np.asarray(dict(raw["ranging"][name])[distance])
+                        for raw in raws
+                    ]
+                ),
+            )
             for distance, _ in raws[0]["ranging"][name]
         ]
         for name in raws[0]["ranging"]
@@ -571,6 +587,7 @@ def campaign(
     num_trials: int = 40,
     num_exchanges: int = 25,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
     """Fig. 12a detector comparison plus the Fig. 12b baseline ranging."""
@@ -587,6 +604,7 @@ def campaign(
         engine.chunk_share(engine.scaled(num_exchanges, scale), chunk),
         1.0,
         backend,
+        pipeline,
     )
     raw = {"detection": detection, "ranging": ranging}
     if chunk is not None:

@@ -47,6 +47,7 @@ def run_depth_sweep(
     num_exchanges: int = 30,
     separation_m: float = 18.0,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
 ) -> List[DepthRangingResult]:
     """Fig. 13a: ranging error vs depth at 18 m separation."""
     engine.check_backend(backend, "fig13")
@@ -54,7 +55,11 @@ def run_depth_sweep(
     config = ExchangeConfig(environment=DOCK)
     results = []
     for depth in depths_m:
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         errors: List[float] = []
         for _ in range(num_exchanges):
             # The rope lets the phone sway slightly (paper setup).
@@ -192,17 +197,22 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     """Concatenate chunked trials per depth / per sensor reference."""
     merged = {
         "ranging": [
-            (depth, [e for raw in raws for e in dict(raw["ranging"])[depth]])
+            (
+                depth,
+                np.concatenate(
+                    [np.asarray(dict(raw["ranging"])[depth]) for raw in raws]
+                ),
+            )
             for depth, _ in raws[0]["ranging"]
         ],
         "references": raws[0]["references"],
         "sensors": [
             (
                 name,
-                [
-                    [v for raw in raws for v in dict(raw["sensors"])[name][i]]
-                    for i in range(len(raws[0]["references"]))
-                ],
+                np.concatenate(
+                    [np.asarray(dict(raw["sensors"])[name]) for raw in raws],
+                    axis=1,
+                ),
             )
             for name, _ in raws[0]["sensors"]
         ],
@@ -227,6 +237,7 @@ def campaign(
     num_exchanges: int = 30,
     readings_per_depth: int = 30,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
     """Fig. 13a depth sweep plus the Fig. 13b sensor comparison."""
@@ -234,6 +245,7 @@ def campaign(
         rng,
         num_exchanges=engine.chunk_share(engine.scaled(num_exchanges, scale), chunk),
         backend=backend,
+        pipeline=pipeline,
     )
     sensors = run_depth_sensor_accuracy(
         rng,
@@ -242,9 +254,13 @@ def campaign(
         ),
     )
     raw = {
-        "ranging": [(r.depth_m, [float(e) for e in r.errors_m]) for r in sweep],
+        "ranging": [
+            (r.depth_m, np.asarray(r.errors_m, dtype=float)) for r in sweep
+        ],
         "references": [float(v) for v in sensors[0].reference_depths_m],
-        "sensors": [(r.sensor, r.readings) for r in sensors],
+        "sensors": [
+            (r.sensor, np.asarray(r.readings, dtype=float)) for r in sensors
+        ],
     }
     if chunk is not None:
         return engine.ExperimentOutput(measured={}, report="", raw=raw)

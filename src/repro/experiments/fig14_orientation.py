@@ -77,7 +77,8 @@ def _orientation_errors(
     distance_m: float,
     depth_m: float,
     backend: str,
-) -> List[Tuple[str, List[float]]]:
+    pipeline: Optional[int] = None,
+) -> List[Tuple[str, np.ndarray]]:
     engine.check_backend(backend, "fig14")
     preamble = make_preamble()
     out = []
@@ -90,7 +91,11 @@ def _orientation_errors(
             tx_azimuth_rad=np.deg2rad(az_deg),
             tx_polar_rad=np.deg2rad(pol_deg),
         )
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, case_depth + rng.uniform(-0.1, 0.1)])
@@ -101,7 +106,7 @@ def _orientation_errors(
                 errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
         if sim is not None:
             errors = [m.error_m for m in sim.run()]
-        out.append((label, [float(e) for e in errors]))
+        out.append((label, np.asarray(errors, dtype=float)))
     return out
 
 
@@ -142,7 +147,8 @@ def _model_pair_errors(
     distance_m: float,
     depth_m: float,
     backend: str,
-) -> List[Tuple[str, List[float]]]:
+    pipeline: Optional[int] = None,
+) -> List[Tuple[str, np.ndarray]]:
     engine.check_backend(backend, "fig14")
     preamble = make_preamble()
     out = []
@@ -150,7 +156,11 @@ def _model_pair_errors(
         config = ExchangeConfig(
             environment=DOCK, tx_model=tx_model, rx_model=rx_model
         )
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         errors: List[float] = []
         for _ in range(num_exchanges):
             tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.1, 0.1)])
@@ -161,7 +171,7 @@ def _model_pair_errors(
                 errors.append(one_way_range(preamble, tx, rx, config, rng).error_m)
         if sim is not None:
             errors = [m.error_m for m in sim.run()]
-        out.append((name, [float(e) for e in errors]))
+        out.append((name, np.asarray(errors, dtype=float)))
     return out
 
 
@@ -208,7 +218,12 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     """Concatenate chunked trials per orientation case / model pair."""
     merged = {
         key: [
-            (label, [e for raw in raws for e in dict(raw[key])[label]])
+            (
+                label,
+                np.concatenate(
+                    [np.asarray(dict(raw[key])[label]) for raw in raws]
+                ),
+            )
             for label, _ in raws[0][key]
         ]
         for key in ("orientation", "pairs")
@@ -232,15 +247,16 @@ def campaign(
     scale: float = 1.0,
     num_exchanges: int = 25,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
     """Fig. 14a orientation sweep plus the Fig. 14b model-pair study."""
     n = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
     raw = {
         "orientation": _orientation_errors(
-            rng, ORIENTATION_CASES, n, 20.0, 2.5, backend
+            rng, ORIENTATION_CASES, n, 20.0, 2.5, backend, pipeline
         ),
-        "pairs": _model_pair_errors(rng, n, 20.0, 2.5, backend),
+        "pairs": _model_pair_errors(rng, n, 20.0, 2.5, backend, pipeline),
     }
     if chunk is not None:
         return engine.ExperimentOutput(measured={}, report="", raw=raw)

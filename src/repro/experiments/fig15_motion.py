@@ -45,6 +45,7 @@ def run_motion_tracking(
     amplitude_m: float = 5.0,
     depth_m: float = 1.5,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     time_slice: Optional[Tuple[int, int]] = None,
 ) -> List[MotionRangingResult]:
     """Range once per second while the device sweeps back and forth.
@@ -68,7 +69,11 @@ def run_motion_tracking(
         if time_slice is not None:
             offset, count = time_slice
             times = times[offset : offset + count]
-        sim = BatchOneWay(preamble, backend=backend) if backend != "legacy" else None
+        sim = (
+            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            if backend != "legacy"
+            else None
+        )
         measurements = []
         for t in times:
             pos = trajectory.position(float(t))
@@ -141,9 +146,9 @@ def merge_chunks(raws: List[Dict]) -> engine.ExperimentOutput:
     """Stitch contiguous time slices back into whole trajectories."""
     merged = {"tracks": []}
     for idx, (speed, _t, _d, _e) in enumerate(raws[0]["tracks"]):
-        times = [v for raw in raws for v in raw["tracks"][idx][1]]
-        true_d = [v for raw in raws for v in raw["tracks"][idx][2]]
-        est_d = [v for raw in raws for v in raw["tracks"][idx][3]]
+        times = np.concatenate([np.asarray(raw["tracks"][idx][1]) for raw in raws])
+        true_d = np.concatenate([np.asarray(raw["tracks"][idx][2]) for raw in raws])
+        est_d = np.concatenate([np.asarray(raw["tracks"][idx][3]) for raw in raws])
         merged["tracks"].append((speed, times, true_d, est_d))
     return _summarize_raw(merged)
 
@@ -164,6 +169,7 @@ def campaign(
     scale: float = 1.0,
     duration_s: float = 60.0,
     backend: str = "batch",
+    pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
     """Both trajectory speeds, once per second for the scaled duration."""
@@ -176,15 +182,19 @@ def campaign(
             engine.chunk_share(steps, chunk),
         )
     results = run_motion_tracking(
-        rng, duration_s=duration, backend=backend, time_slice=time_slice
+        rng,
+        duration_s=duration,
+        backend=backend,
+        pipeline=pipeline,
+        time_slice=time_slice,
     )
     raw = {
         "tracks": [
             (
                 r.speed_mps,
-                [float(v) for v in r.times_s],
-                [float(v) for v in r.true_distances_m],
-                [float(v) for v in r.estimated_distances_m],
+                np.asarray(r.times_s, dtype=float),
+                np.asarray(r.true_distances_m, dtype=float),
+                np.asarray(r.estimated_distances_m, dtype=float),
             )
             for r in results
         ]

@@ -132,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Phase-A/Phase-B flush-pipeline depth for waveform experiments "
+            "(0 = synchronous flushes; default from REPRO_PIPELINE_DEPTH). "
+            "Artifacts are bit-identical at every depth"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the experiment registry and exit"
     )
     return parser
@@ -191,6 +202,7 @@ def main(argv=None) -> int:
         sweep=sweep,
         trial_chunks=args.trial_chunks,
         backend=args.backend,
+        pipeline=args.pipeline,
         progress=show,
     )
 

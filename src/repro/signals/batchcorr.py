@@ -30,10 +30,42 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy.fft import next_fast_len, rfft, irfft
+
+#: (variable, value) pairs already warned about, so a long campaign
+#: complains once per bad setting instead of once per chunk flush.
+_ENV_WARNED: Set[Tuple[str, str]] = set()
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Defensively parse an integer environment knob.
+
+    A typo (``REPRO_FFT_WORKERS=auto``) must degrade to the default
+    with a warning, not crash a campaign mid-run with a bare
+    ``ValueError`` from deep inside a flush.  Warns once per
+    (variable, value) pair; empty/unset values silently use the
+    default.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return max(minimum, int(raw.strip()))
+    except ValueError:
+        key = (name, raw)
+        if key not in _ENV_WARNED:
+            _ENV_WARNED.add(key)
+            warnings.warn(
+                f"{name}={raw!r} is not an integer; falling back to the "
+                f"default ({default})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return default
 
 
 def fft_workers() -> int:
@@ -45,16 +77,16 @@ def fft_workers() -> int:
     with ``REPRO_FFT_WORKERS``; defaults to the machine's core count —
     except inside a child process (a ``--workers N`` campaign pool),
     where it defaults to 1 so N processes don't each spawn a full
-    complement of FFT threads and thrash the machine.
+    complement of FFT threads and thrash the machine.  Unparsable
+    overrides warn once and use the default.
     """
-    env = os.environ.get("REPRO_FFT_WORKERS")
-    if env:
-        return max(1, int(env))
     import multiprocessing
 
     if multiprocessing.parent_process() is not None:
-        return 1
-    return max(1, os.cpu_count() or 1)
+        default = 1
+    else:
+        default = max(1, os.cpu_count() or 1)
+    return env_int("REPRO_FFT_WORKERS", default, minimum=1)
 
 
 def shared_fast_len(full_sizes: Sequence[int]) -> int:

@@ -23,17 +23,25 @@ trial (see ``tests/test_batch_parity.py``).
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import signal as sp_signal
 
 from repro.channel.multipath import image_method_tap_arrays
-from repro.channel.noise import bandpass_sos, spiky_noise, synth_noise_rows
+from repro.channel.noise import (
+    bandpass_sos,
+    spiky_noise,
+    synth_noise_rows,
+    synth_noise_shape,
+)
 from repro.channel.occlusion import occlusion_gain_array
 from repro.channel.render import CachedWaveform, apply_channel_batch, fir_length_for
-from repro.signals.batchcorr import fft_workers
+from repro.signals.batchcorr import env_int, fft_workers
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
     RangingMeasurement,
@@ -43,6 +51,74 @@ from repro.simulate.waveform_sim import (
     fluctuate_tap_arrays,
 )
 from repro.signals.preamble import Preamble
+
+#: Default chunks in flight on the Phase-B consumer thread (1 = render
+#: chunk N while planning chunk N+1; 0 would disable pipelining).
+DEFAULT_PIPELINE_DEPTH = 1
+
+
+def pipeline_depth() -> int:
+    """Flush-pipeline depth from ``REPRO_PIPELINE_DEPTH``.
+
+    ``0`` (or ``off``/``none``/``false``) disables the pipeline: chunk
+    flushes run synchronously on the caller's thread, exactly the
+    pre-pipeline executor.  Depth ``N`` lets up to N flushed chunks be
+    in flight on the single Phase-B worker thread while Phase A plans
+    the next chunk; the producer blocks once the window is full, so
+    memory stays bounded.  Results are bit-identical at every depth
+    (see DESIGN.md §8).  Unparsable values warn once and use the
+    default.
+    """
+    raw = os.environ.get("REPRO_PIPELINE_DEPTH")
+    if raw is not None and raw.strip().lower() in ("off", "none", "false"):
+        return 0
+    return env_int("REPRO_PIPELINE_DEPTH", DEFAULT_PIPELINE_DEPTH, minimum=0)
+
+
+class PipelinedFlusher:
+    """Runs flush jobs on one background thread, strictly in order.
+
+    The producer/consumer split of the batch waveform pipeline: Phase A
+    (RNG-consuming planning) stays on the caller's thread, while the
+    RNG-free Phase B (stacked FFTs, channel convolution, estimation) of
+    an already-planned chunk runs here.  A **single** worker thread
+    executing submissions FIFO is what keeps every backend
+    deterministic: shared spectrum caches are only ever touched by one
+    Phase-B job at a time, in the same order a sequential run would
+    touch them.  ``depth`` bounds the in-flight window — ``submit``
+    blocks once ``depth`` jobs are pending, giving backpressure instead
+    of unbounded plan buffering.
+    """
+
+    def __init__(self, depth: int = DEFAULT_PIPELINE_DEPTH):
+        self.depth = max(1, int(depth))
+        self._slots = threading.BoundedSemaphore(self.depth)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        """Queue one flush job; blocks while ``depth`` jobs are in flight."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="phase-b"
+            )
+        self._slots.acquire()
+        try:
+            return self._executor.submit(self._run, fn, *args)
+        except BaseException:  # pragma: no cover - submit-time failure
+            self._slots.release()
+            raise
+
+    def _run(self, fn: Callable, *args):
+        try:
+            return fn(*args)
+        finally:
+            self._slots.release()
+
+    def close(self) -> None:
+        """Join the worker thread (restarted lazily on the next submit)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
 
 @dataclass
@@ -247,10 +323,43 @@ class BatchExchangeRenderer:
             self._waves[scale] = wave
         return wave
 
+    def take(self) -> List[_TrialPlan]:
+        """Detach the accumulated Phase-A plans (for pipelined flushing)."""
+        plans, self._plans = self._plans, []
+        return plans
+
+    def draw_noise_block(self, plans: List[_TrialPlan]) -> Optional[np.ndarray]:
+        """Pre-draw the fast backend's Phase-B noise normals for ``plans``.
+
+        Fast-mode Phase B synthesises ambient+hardware noise from the
+        dedicated substream; under pipelining those draws would
+        otherwise interleave with the next chunk's Phase-A spike draws
+        on the same generator.  Drawing the block here — at the flush
+        point, on the producer thread — pins the substream's
+        consumption order to the sequential schedule bit for bit.
+        Parity mode draws nothing in Phase B and returns ``None``.
+        """
+        if not self.fast or not plans:
+            return None
+        lengths = [m.stream_length for plan in plans for m in plan.mics]
+        return self._noise_rng.standard_normal(synth_noise_shape(lengths))
+
     def render(self) -> List[Reception]:
         """Phase B: render every planned exchange, then clear the plan list."""
-        plans = self._plans
-        self._plans = []
+        return self.render_plans(self.take())
+
+    def render_plans(
+        self,
+        plans: List[_TrialPlan],
+        noise_block: Optional[np.ndarray] = None,
+    ) -> List[Reception]:
+        """Render an explicit plan list (Phase B proper).
+
+        RNG-free except for the fast backend's dedicated noise
+        substream, which ``noise_block`` replaces when the flush was
+        pipelined; calls must therefore stay in submission order (the
+        single-threaded :class:`PipelinedFlusher` guarantees this).
+        """
         if not plans:
             return []
         rows: List[Tuple[int, int]] = [
@@ -294,6 +403,7 @@ class BatchExchangeRenderer:
                 self._noise_rng,
                 self.fs,
                 workers=workers,
+                z=noise_block,
             )
         else:
             # Ambient noise: one batched causal filter over all rows.
@@ -366,13 +476,31 @@ class BatchOneWay:
     submission order, bit-identical to the legacy loop.  Flushes
     internally every ``chunk`` trials to bound memory.
 
+    Flushes are **pipelined**: while chunk N's Phase B (stacked FFTs,
+    channel convolution, arrival estimation — all RNG-free) runs on a
+    single background thread, the caller keeps planning chunk N+1's
+    Phase A on its own thread, so the FFT work and the strictly
+    sequential RNG/tap work overlap instead of idling each other.
+    ``pipeline`` sets the in-flight chunk window (default from
+    ``REPRO_PIPELINE_DEPTH``; 0 = synchronous flushes).  Results are
+    bit-identical at every depth: Phase A order is untouched, Phase-B
+    jobs execute FIFO on one thread, and the fast backend's Phase-B
+    noise normals are pre-drawn at the flush point via
+    :meth:`BatchExchangeRenderer.draw_noise_block`.
+
     ``backend="fast"`` switches renderer and estimator to the
     non-parity fast engine (right-sized FIRs, frequency-domain noise,
     fused NCC, forced-GEMM gate) — deterministic per seed, validated
     statistically instead of bit-wise (tests/test_fast_equivalence.py).
     """
 
-    def __init__(self, preamble: Preamble, chunk: int = 24, backend: str = "batch"):
+    def __init__(
+        self,
+        preamble: Preamble,
+        chunk: int = 24,
+        backend: str = "batch",
+        pipeline: Optional[int] = None,
+    ):
         from repro.ranging.batch import BatchArrivalEstimator
 
         if backend not in ("batch", "fast"):
@@ -382,8 +510,11 @@ class BatchOneWay:
         self.preamble = preamble
         self.backend = backend
         self.chunk = int(chunk)
+        self.pipeline = pipeline_depth() if pipeline is None else max(0, int(pipeline))
         self.renderer = BatchExchangeRenderer(preamble, fast=backend == "fast")
         self.estimator = BatchArrivalEstimator(preamble, fast=backend == "fast")
+        self._flusher = PipelinedFlusher(self.pipeline) if self.pipeline else None
+        self._pending: List[Future] = []
         self._meta: List[_OneWayMeta] = []
         self._results: List[RangingMeasurement] = []
 
@@ -409,10 +540,35 @@ class BatchOneWay:
             self._flush()
 
     def _flush(self) -> None:
+        """Snapshot the planned chunk and hand its Phase B off (or run it).
+
+        Everything that may touch an RNG happens here, on the caller's
+        thread, before the hand-off: the plan list is detached and the
+        fast backend's Phase-B noise normals are pre-drawn at this exact
+        point in the substream.  What crosses to the Phase-B thread is
+        pure array work.
+        """
         if not self._meta:
             return
-        receptions = self.renderer.render()
+        plans = self.renderer.take()
+        noise_block = self.renderer.draw_noise_block(plans)
         meta, self._meta = self._meta, []
+        if self._flusher is None:
+            self._results.extend(self._process(plans, noise_block, meta))
+        else:
+            self._pending.append(
+                self._flusher.submit(self._process, plans, noise_block, meta)
+            )
+
+    def _process(
+        self,
+        plans: List[_TrialPlan],
+        noise_block: Optional[np.ndarray],
+        meta: List[_OneWayMeta],
+    ) -> List[RangingMeasurement]:
+        """Phase B for one flushed chunk: render, estimate, package."""
+        receptions = self.renderer.render_plans(plans, noise_block)
+        results: List[RangingMeasurement] = []
         estimates = self.estimator.estimate_many(
             [r.mic1 for r in receptions],
             [r.mic2 for r in receptions],
@@ -423,20 +579,33 @@ class BatchOneWay:
         fs = self.renderer.fs
         for m, estimate in zip(meta, estimates):
             if estimate is None:
-                self._results.append(
+                results.append(
                     RangingMeasurement(m.true_distance, float("nan"), detected=False)
                 )
                 continue
             est_mic1 = (estimate.arrival_index - m.guard) / fs * m.sound_speed
             est_center = est_mic1 + (m.true_distance - m.mic1_true)
-            self._results.append(
+            results.append(
                 RangingMeasurement(
                     m.true_distance, float(est_center), detected=True, arrival=estimate
                 )
             )
+        return results
 
     def run(self) -> List[RangingMeasurement]:
-        """Render and estimate all pending trials; return all results."""
+        """Render and estimate all pending trials; return all results.
+
+        Drains in-flight Phase-B chunks in submission order, so the
+        returned list is identical — element for element, bit for bit —
+        to a fully synchronous (``pipeline=0``) run.
+        """
         self._flush()
+        if self._flusher is not None:
+            pending, self._pending = self._pending, []
+            try:
+                for future in pending:
+                    self._results.extend(future.result())
+            finally:
+                self._flusher.close()
         results, self._results = self._results, []
         return results

@@ -74,8 +74,17 @@ def test_bench_figure_captures_backend_exception(bench_module, monkeypatch):
 
 def test_healthy_figure_times_all_three_backends(bench_module):
     timings = bench_module.bench_figure("fig22", 0.5)
-    assert set(timings) == {"legacy", "batch", "fast", "speedup", "speedup_fast"}
+    assert set(timings) == {
+        "legacy",
+        "batch",
+        "fast",
+        "batch_sequential",
+        "speedup",
+        "speedup_fast",
+        "speedup_pipeline",
+    }
     assert timings["speedup"] > 0 and timings["speedup_fast"] > 0
+    assert timings["speedup_pipeline"] > 0
 
 
 def test_regression_gate_flags_errored_figure(check_module):
@@ -101,6 +110,54 @@ def test_regression_gate_floors_and_baseline_ratio(check_module):
     assert any("regressed" in v for v in violations)
     missing = {"figures": {}}
     assert any("missing" in v for v in check_module.check(baseline, missing))
+
+
+def test_regression_gate_pipeline_floor(check_module):
+    """The executor A/B has its own (looser) floor: a single-core host
+    pays real thread contention, so ~1x is healthy, but a grossly
+    regressed pipeline must fail."""
+    baseline = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7}}}
+    healthy = {
+        "figures": {
+            "fig11": {
+                "legacy": 1.0,
+                "batch": 0.7,
+                "speedup": 1.45,
+                "speedup_pipeline": 0.9,
+            }
+        }
+    }
+    assert check_module.check(baseline, healthy) == []
+    bad = {
+        "figures": {
+            "fig11": {
+                "legacy": 1.0,
+                "batch": 0.7,
+                "speedup": 1.45,
+                "speedup_pipeline": 0.5,
+            }
+        }
+    }
+    violations = check_module.check(baseline, bad)
+    assert any("pipeline" in v and "below" in v for v in violations)
+    # A baseline that recorded the column also ratio-gates it.
+    base2 = {
+        "figures": {
+            "fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7, "speedup_pipeline": 1.3}
+        }
+    }
+    regressed = {
+        "figures": {
+            "fig11": {
+                "legacy": 1.0,
+                "batch": 0.7,
+                "speedup": 1.45,
+                "speedup_pipeline": 0.9,
+            }
+        }
+    }
+    violations = check_module.check(base2, regressed)
+    assert any("pipeline" in v and "regressed" in v for v in violations)
 
 
 def test_regression_gate_skips_timer_noise_figures(check_module):
