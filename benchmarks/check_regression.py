@@ -30,6 +30,11 @@ the committed baseline and fails (exit 1) when:
   more expensive than synchronous flushing) or regresses more than
   ``--max-regression`` against a baseline that recorded it.
 
+* the campaign-service warm-hit p50 (``service.service_warm``, when
+  recorded) exceeds the absolute ``--max-warm-p50`` bound (default
+  0.25 s) — a cache hit is a disk read, so a slow one means the hit
+  path started recomputing.
+
 Figures whose current legacy time is under ``--min-seconds`` (default
 0.05 s, e.g. fig22 at smoke scales) are reported but not gated — at
 millisecond scale the speedup ratio is timer noise.
@@ -63,9 +68,11 @@ def check(
     min_pipeline_speedup: float = 0.75,
     min_seconds: float = 0.05,
     allow_new_figures: bool = False,
+    max_warm_p50: float = 0.25,
 ) -> List[str]:
     """Return the list of violations (empty when the gate passes)."""
     violations: List[str] = []
+    violations.extend(_check_service(baseline, current, max_warm_p50))
     base_figs = baseline.get("figures", {})
     cur_figs = current.get("figures", {})
     # Figures only the current artifact knows about are never compared
@@ -136,6 +143,45 @@ def check(
     return violations
 
 
+def _check_service(
+    baseline: Dict, current: Dict, max_warm_p50: float
+) -> List[str]:
+    """Gate the campaign-service rows (when this run recorded them).
+
+    The warm-hit p50 is an *absolute* bound, not a baseline ratio: a
+    cache hit is a disk read plus HTTP framing, so its latency budget
+    does not scale with how slow the engine happens to be on this
+    host.  The bound is deliberately generous (default 0.25 s) — it
+    catches a hit path that silently started invoking the engine, not
+    millisecond jitter.  ``BENCH_REGRESSION_SKIP=1`` skips this gate
+    like every other.
+    """
+    violations: List[str] = []
+    svc = current.get("service")
+    if svc is None:
+        if baseline.get("service") is not None:
+            violations.append(
+                "service: cold/warm rows present in baseline but missing "
+                "from the current artifact"
+            )
+        return violations
+    if "error" in svc:
+        violations.append(f"service: errored: {svc['error']}")
+        return violations
+    warm = float(svc.get("service_warm", float("inf")))
+    print(
+        f"  service: cold {float(svc.get('service_cold', 0.0)):.2f}s  "
+        f"warm p50 {warm * 1e3:.2f}ms (bound {max_warm_p50 * 1e3:.0f}ms)"
+    )
+    if warm > max_warm_p50:
+        violations.append(
+            f"service: warm-hit p50 {warm * 1e3:.1f}ms above the "
+            f"{max_warm_p50 * 1e3:.0f}ms bound — cache hits may be "
+            "touching the engine"
+        )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -179,6 +225,16 @@ def main(argv=None) -> int:
         default=0.05,
         help="skip figures whose legacy time is below this (timer noise)",
     )
+    parser.add_argument(
+        "--max-warm-p50",
+        type=float,
+        default=0.25,
+        help=(
+            "absolute bound (seconds) on the campaign-service warm-hit "
+            "p50 latency (default 0.25; generous on purpose — it catches "
+            "a hit path that recomputes, not timer jitter)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -192,6 +248,7 @@ def main(argv=None) -> int:
         min_pipeline_speedup=args.min_pipeline_speedup,
         min_seconds=args.min_seconds,
         allow_new_figures=args.allow_new_figures,
+        max_warm_p50=args.max_warm_p50,
     )
     if not violations:
         print("perf gate: OK")

@@ -123,6 +123,58 @@ def bench_campaign(
     return timings
 
 
+def bench_service(
+    scale: float,
+    figure: str = "fig11",
+    warm_requests: int = 25,
+) -> Dict[str, object]:
+    """Cold-vs-warm rows for the campaign service (``repro.service``).
+
+    Starts a real server on an ephemeral loopback port with a fresh
+    temporary cache, issues one cold ``POST /campaign`` (engine
+    compute + store write) and a train of warm requests (pure cache
+    hits), and records both plus the warm-hit percentiles.  The
+    ``service_warm`` p50 is what ``check_regression.py`` gates: a warm
+    hit must stay disk-read cheap no matter how the engine evolves.
+    """
+    import tempfile
+
+    from repro.service.client import ServiceClient
+    from repro.service.replay import percentile
+    from repro.service.server import start_background
+    from repro.service.store import CacheStore
+
+    request = {"experiment": figure, "scale": scale, "backend": "fast"}
+    timings: Dict[str, object] = {"figure": figure, "scale": scale}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        with start_background(CacheStore(root)) as server:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+            start = time.perf_counter()
+            response = client.campaign(request)
+            timings["service_cold"] = time.perf_counter() - start
+            if response.status != 200 or response.cache != "miss":
+                timings["error"] = (
+                    f"cold request: HTTP {response.status}, "
+                    f"X-Cache {response.cache!r}: {response.body[:500]!r}"
+                )
+                return timings
+            warm = []
+            for _ in range(warm_requests):
+                start = time.perf_counter()
+                response = client.campaign(request)
+                warm.append(time.perf_counter() - start)
+                if response.status != 200 or response.cache != "hit":
+                    timings["error"] = (
+                        f"warm request: HTTP {response.status}, "
+                        f"X-Cache {response.cache!r}"
+                    )
+                    return timings
+    timings["service_warm"] = percentile(warm, 50)
+    timings["service_warm_p99"] = percentile(warm, 99)
+    timings["speedup_warm"] = timings["service_cold"] / timings["service_warm"]
+    return timings
+
+
 def bench_kernels() -> Dict[str, Dict[str, float]]:
     """Hot-kernel A/Bs: the Python-loop paths the batch engine replaced."""
     from repro.channel.multipath import PathTap
@@ -241,6 +293,11 @@ def main(argv=None) -> int:
         help="also time the end-to-end campaign: serial vs --workers pool",
     )
     parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the campaign-service cold/warm rows",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="worker count for --campaign"
     )
     args = parser.parse_args(argv)
@@ -298,6 +355,19 @@ def main(argv=None) -> int:
                 f"  serial {camp['serial']:.2f}s  "
                 f"workers={args.workers} {camp['parallel']:.2f}s  "
                 f"speedup {camp['speedup_workers']:.2f}x"
+            )
+    if not args.skip_service:
+        print("timing campaign service (cold vs warm) ...", flush=True)
+        doc["service"] = bench_service(args.scale)
+        svc = doc["service"]
+        if "error" in svc:
+            failures.append("service")
+            print(f"  FAILED: {svc['error']}")
+        else:
+            print(
+                f"  cold {svc['service_cold']:.2f}s  "
+                f"warm p50 {svc['service_warm'] * 1e3:.2f}ms  "
+                f"(x{svc['speedup_warm']:.0f} faster)"
             )
     if not args.skip_kernels:
         print("timing kernels ...", flush=True)

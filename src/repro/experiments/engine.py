@@ -663,6 +663,104 @@ def _merge_stream(results: Iterable[ExperimentResult]) -> Iterator[ExperimentRes
         yield _merge_chunk_group(group)
 
 
+#: Unit-level engine invocations in this process.  The serving tier's
+#: "a warm cache hit never touches the engine" guarantee is asserted
+#: against this counter (tests/test_service_server.py); it counts
+#: :func:`run_unit` entries, i.e. actual compute dispatches.
+_UNIT_CALLS = 0
+
+
+def unit_call_count() -> int:
+    """How many times :func:`run_unit` has dispatched compute."""
+    return _UNIT_CALLS
+
+
+def plan_units(
+    names: Sequence[str],
+    sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+    backend: Optional[str] = None,
+) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """The (experiment, variant, params) units a selection expands to.
+
+    This is the campaign plan at *unit* granularity — the addressing
+    scheme of the result cache (:mod:`repro.service.cachekey`): sweeps
+    expand to named variants here, so two campaigns that share a sweep
+    point share a cache entry.  ``backend`` is validated but *not*
+    folded into params; the cache key carries it as its own field.
+    """
+    load_registry()
+    if backend is not None:
+        for name in names:
+            check_backend(backend, name)
+    return [
+        (name, variant, params)
+        for name, variant, params, _ in _plan_jobs(names, sweep, 1, None)
+    ]
+
+
+def run_unit(
+    name: str,
+    variant: str = "default",
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    base_seed: int = DEFAULT_BASE_SEED,
+    scale: float = 1.0,
+    backend: Optional[str] = None,
+    trial_chunks: int = 1,
+    workers: int = 1,
+    pipeline: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one (experiment, variant) unit — the cacheable entrypoint.
+
+    A unit is the quantum the serving tier memoizes: its result is a
+    pure function of ``(name, variant, params, base_seed, scale,
+    backend, trial_chunks)`` — exactly the fields
+    :func:`repro.service.cachekey.cache_key` hashes.  ``workers`` and
+    ``pipeline`` are execution knobs (chunk parallelism / flush depth)
+    that never change the bytes.  Declared-variant params are folded in
+    under explicit ``params`` overrides, and ad-hoc variant names get
+    the same CRC32-extended substream as campaign sweeps, so a unit
+    reproduces the corresponding :func:`run_campaign` job bit for bit.
+    """
+    global _UNIT_CALLS
+    load_registry()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment: {name}")
+    if trial_chunks < 1:
+        raise ValueError("trial_chunks must be >= 1")
+    spec = get_spec(name)
+    merged: Dict[str, Any] = {}
+    declared = {v.name: v.params for v in spec.variants}
+    if variant in declared:
+        merged.update(declared[variant])
+    merged.update(dict(params or {}))
+    if backend is not None:
+        check_backend(backend, name)
+        merged.setdefault("backend", backend)
+    _UNIT_CALLS += 1
+    if trial_chunks > 1 and spec.chunkable:
+        jobs = [(name, variant, merged, (i, trial_chunks)) for i in range(trial_chunks)]
+    else:
+        jobs = [(name, variant, merged, None)]
+    if workers <= 1 or len(jobs) == 1:
+        raw: Iterable[ExperimentResult] = (
+            _execute(n, v, p, base_seed, scale, c, pipeline) for n, v, p, c in jobs
+        )
+    else:
+        from repro.experiments.pool import WorkerCrash
+
+        pool = _campaign_pool(workers)
+        payloads = [(n, v, p, base_seed, scale, c, pipeline) for n, v, p, c in jobs]
+        outcomes = pool.map(payloads)
+        raw = (
+            _failure_result(job, outcome.message, base_seed)
+            if isinstance(outcome, WorkerCrash)
+            else outcome
+            for job, outcome in zip(jobs, outcomes)
+        )
+    return next(iter(_merge_stream(raw)))
+
+
 def run_campaign(
     names: Optional[Sequence[str]] = None,
     *,
@@ -762,7 +860,15 @@ def jsonify(value: Any) -> Any:
         return jsonify(dataclasses.asdict(value))
     if isinstance(value, Mapping):
         return {_key_str(k): jsonify(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        # Set iteration order is hash-dependent; artifacts (and the
+        # cache keys hashed over them) must be byte-canonical, so sets
+        # serialise sorted by their canonical JSON encoding.
+        return sorted(
+            (jsonify(v) for v in value),
+            key=lambda v: json.dumps(v, sort_keys=True),
+        )
+    if isinstance(value, (list, tuple)):
         return [jsonify(v) for v in value]
     return str(value)
 
@@ -775,6 +881,59 @@ def _key_str(key: Any) -> str:
     if isinstance(key, tuple):
         return "-".join(str(jsonify(k)) for k in key)
     return str(key)
+
+
+def unit_to_dict(
+    result: ExperimentResult,
+    *,
+    scale: float = 1.0,
+    trial_chunks: int = 1,
+    backend: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The machine-readable artifact for one cacheable unit.
+
+    The single-result analogue of :func:`campaign_to_dict`: the
+    ``provenance`` block pins every result-shaping input beyond the
+    base seed (including ``scale``, which the campaign schema leaves to
+    the caller), so a cached unit body is self-describing.  Timing is
+    always excluded — unit bodies must be byte-identical across runs.
+    """
+    return {
+        "schema": "repro-unit/1",
+        "base_seed": result.base_seed,
+        "provenance": {
+            "scale": float(scale),
+            "trial_chunks": int(trial_chunks),
+            "backend": backend,
+        },
+        "result": result.to_dict(),
+    }
+
+
+def result_from_dict(entry: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its ``to_dict`` form.
+
+    Used by the cached runner path to fold stored unit bodies back into
+    the normal campaign artifact flow; ``to_dict`` of the rebuilt
+    result round-trips byte-for-byte (wall time is not serialised, so
+    it comes back as 0.0).
+    """
+    seed = entry.get("seed") or {}
+    return ExperimentResult(
+        experiment=entry["experiment"],
+        variant=entry.get("variant", "default"),
+        title=entry.get("title", ""),
+        paper_ref=entry.get("paper_ref", ""),
+        params=dict(entry.get("params") or {}),
+        base_seed=int(seed.get("base_seed", DEFAULT_BASE_SEED)),
+        spawn_key=tuple(int(k) for k in seed.get("spawn_key", ())),
+        status=entry.get("status", "ok"),
+        measured=dict(entry.get("measured") or {}),
+        paper=dict(entry.get("paper") or {}),
+        report=entry.get("report") or "",
+        wall_time_s=float(entry.get("wall_time_s", 0.0)),
+        error=entry.get("error"),
+    )
 
 
 def campaign_to_dict(

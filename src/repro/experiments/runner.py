@@ -143,9 +143,60 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "read/write the content-addressable result cache at PATH (the "
+            "same store `python -m repro.service` serves from): cached "
+            "units are returned without recomputing; misses are computed "
+            "and stored. Units run sequentially; --workers still "
+            "parallelises chunks inside a unit"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the experiment registry and exit"
     )
     return parser
+
+
+def _run_cached(args, selected, sweep, show) -> List[ExperimentResult]:
+    """The --cache-dir campaign path: per-unit cache-through compute.
+
+    Expands the selection to (experiment, variant, params) units —
+    the cache's addressing granularity, so sweep points shared between
+    campaigns share entries — and serves each unit through the store.
+    Cached bodies round-trip through
+    :func:`repro.experiments.engine.result_from_dict`, so the JSON
+    artifact is byte-identical to an uncached run's.
+    """
+    import json as _json
+
+    from repro.service.cachekey import UnitRequest
+    from repro.service.compute import cached_unit
+    from repro.service.store import CacheStore
+
+    store = CacheStore(args.cache_dir)
+    store.ensure_writable()
+    results: List[ExperimentResult] = []
+    for name, variant, params in engine.plan_units(
+        selected, sweep=sweep, backend=args.backend
+    ):
+        request = UnitRequest(
+            experiment=name,
+            variant=variant,
+            params=params,
+            base_seed=args.seed,
+            scale=args.scale,
+            backend=args.backend,
+            trial_chunks=args.trial_chunks,
+        )
+        _, body, hit = cached_unit(
+            store, request, workers=args.workers, pipeline=args.pipeline
+        )
+        result = engine.result_from_dict(_json.loads(body)["result"])
+        show(result, cached=hit)
+        results.append(result)
+    return results
 
 
 def main(argv=None) -> int:
@@ -185,26 +236,38 @@ def main(argv=None) -> int:
                 f"that sweep axis is ignored"
             )
 
-    def show(result: ExperimentResult) -> None:
+    def show(result: ExperimentResult, cached: bool = False) -> None:
         print(f"\n===== {result.label} " + "=" * max(0, 60 - len(result.label)))
         if result.status == "ok":
             print(result.report)
-            print(f"----- {result.label} done in {result.wall_time_s:.1f} s")
+            suffix = "from cache" if cached else f"in {result.wall_time_s:.1f} s"
+            print(f"----- {result.label} done {suffix}")
         else:
             print(result.error)
             print(f"----- {result.label} FAILED after {result.wall_time_s:.1f} s")
 
-    results = run_campaign(
-        selected,
-        base_seed=args.seed,
-        workers=args.workers,
-        scale=args.scale,
-        sweep=sweep,
-        trial_chunks=args.trial_chunks,
-        backend=args.backend,
-        pipeline=args.pipeline,
-        progress=show,
-    )
+    if args.cache_dir:
+        from repro.service.store import CacheStoreError
+
+        try:
+            results = _run_cached(args, selected, sweep, show)
+        except CacheStoreError as exc:
+            # A bad --cache-dir must fail before any compute starts,
+            # with an actionable message — not crash mid-campaign.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        results = run_campaign(
+            selected,
+            base_seed=args.seed,
+            workers=args.workers,
+            scale=args.scale,
+            sweep=sweep,
+            trial_chunks=args.trial_chunks,
+            backend=args.backend,
+            pipeline=args.pipeline,
+            progress=show,
+        )
 
     if args.json:
         write_campaign_json(

@@ -1,0 +1,34 @@
+"""Campaign-as-a-service: a caching, deduplicating serving tier.
+
+Every campaign unit is a pure function of ``(experiment, variant,
+params, base_seed, scale, backend, trial_chunks)`` — the provenance
+tuple the ``repro-campaign/2`` artifact already pins.  This package
+turns that determinism into a serving architecture:
+
+* :mod:`repro.service.cachekey` — canonical-JSON cache keys over the
+  provenance tuple, salted with the package code version;
+* :mod:`repro.service.store` — an on-disk content-addressable store
+  with atomic writes, LRU eviction and corrupt-entry quarantine;
+* :mod:`repro.service.compute` — the cache-through compute path shared
+  by the server, the warm CLI and the offline runner;
+* :mod:`repro.service.server` — an asyncio HTTP front end that serves
+  hits without touching the engine and deduplicates identical
+  in-flight requests onto one compute future;
+* :mod:`repro.service.client` / :mod:`repro.service.replay` — a stdlib
+  HTTP client plus a capture/replay load harness;
+* ``python -m repro.service`` — the ``serve`` / ``warm`` / ``replay``
+  / ``stats`` CLI.
+
+See DESIGN.md §9 for the cache-key contract and failure semantics.
+"""
+
+from repro.service.cachekey import UnitRequest, cache_key, canonical_json
+from repro.service.store import CacheStore, CacheStoreError
+
+__all__ = [
+    "UnitRequest",
+    "cache_key",
+    "canonical_json",
+    "CacheStore",
+    "CacheStoreError",
+]

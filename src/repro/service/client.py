@@ -1,0 +1,102 @@
+"""Minimal stdlib HTTP client for the campaign service.
+
+``http.client`` only — no new dependencies.  One connection per
+request (the server speaks ``Connection: close``), which on loopback
+costs well under the latency budget the warm-hit gate allows.  The
+client is also the capture point of the load harness: give it a
+:class:`repro.service.replay.TraceRecorder` and every request it
+issues is appended to the JSONL trace with a relative timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import urlsplit
+
+
+@dataclass
+class Response:
+    """One HTTP exchange: status, lower-cased headers, raw body."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def cache(self) -> Optional[str]:
+        """The server's ``X-Cache`` verdict (``hit``/``miss``), if any."""
+        return self.headers.get("x-cache")
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Blocking client for one service endpoint."""
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8123",
+        *,
+        timeout: float = 600.0,
+        recorder=None,
+    ):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8123
+        self.timeout = timeout
+        self.recorder = recorder
+
+    def request(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Response:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        if self.recorder is not None:
+            self.recorder.record(method, path, body)
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            raw = conn.getresponse()
+            return Response(
+                status=raw.status,
+                headers={k.lower(): v for k, v in raw.getheaders()},
+                body=raw.read(),
+            )
+        finally:
+            conn.close()
+
+    # -- endpoint wrappers -------------------------------------------
+
+    def campaign(self, request: Mapping[str, Any]) -> Response:
+        return self.request("POST", "/campaign", request)
+
+    def result(self, key: str) -> Response:
+        return self.request("GET", f"/result/{key}")
+
+    def healthz(self) -> Response:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Response:
+        return self.request("GET", "/stats")
+
+    def wait_ready(self, timeout: float = 30.0, interval: float = 0.1) -> None:
+        """Poll ``/healthz`` until the server answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.healthz().status == 200:
+                    return
+            except OSError:
+                pass
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"service at {self.host}:{self.port} not ready after {timeout}s"
+                )
+            time.sleep(interval)

@@ -1,0 +1,174 @@
+"""Capture/replay load harness for the campaign service.
+
+CGReplay-style (PAPERS.md): record a request trace once, replay it at
+a speed multiplier to benchmark the service under load — in CI, a
+recorded trace replayed at 50x asserts the cache keeps its latency
+promises under traffic compression.
+
+**Trace format** — JSONL, one request per line::
+
+    {"t": 0.0,   "method": "POST", "path": "/campaign", "body": {...}}
+    {"t": 1.25,  "method": "POST", "path": "/campaign", "body": {...}}
+
+``t`` is seconds since the first recorded request, so a trace is
+start-time independent.  :class:`TraceRecorder` plugs into
+:class:`repro.service.client.ServiceClient` and stamps each request at
+issue time.
+
+**Replay** re-issues the trace sequentially, sleeping until each
+request's ``t / speed`` offset (``--speed 50`` compresses a recorded
+minute into 1.2 s; requests that fall behind are issued immediately).
+The report carries hit/miss counts from the server's ``X-Cache``
+headers and latency percentiles overall and split by cache verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.service.client import ServiceClient
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request."""
+
+    t: float
+    method: str
+    path: str
+    body: Optional[Mapping[str, Any]] = None
+
+
+@dataclass
+class TraceRecorder:
+    """Append-mode JSONL trace writer with relative timestamps."""
+
+    path: Path
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    def record(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        now = time.monotonic()
+        if self._start is None:
+            self._start = now
+        line = {
+            "t": round(now - self._start, 6),
+            "method": method,
+            "path": path,
+            "body": None if body is None else dict(body),
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def load_trace(path) -> List[TraceEntry]:
+    """Parse a JSONL trace; raises ``ValueError`` on a malformed line."""
+    entries: List[TraceEntry] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                doc = json.loads(raw)
+                entries.append(
+                    TraceEntry(
+                        t=float(doc["t"]),
+                        method=str(doc["method"]),
+                        path=str(doc["path"]),
+                        body=doc.get("body"),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+    if not entries:
+        raise ValueError(f"{path}: empty trace")
+    return entries
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of an unsorted sequence."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_summary(latencies: Sequence[float]) -> Optional[Dict[str, float]]:
+    if not latencies:
+        return None
+    return {
+        "p50_s": percentile(latencies, 50),
+        "p90_s": percentile(latencies, 90),
+        "p99_s": percentile(latencies, 99),
+        "max_s": max(latencies),
+        "mean_s": sum(latencies) / len(latencies),
+    }
+
+
+def replay_trace(
+    client: ServiceClient,
+    entries: Sequence[TraceEntry],
+    *,
+    speed: float = 1.0,
+    repeat: int = 1,
+) -> Dict[str, Any]:
+    """Re-issue a trace ``repeat`` times at ``speed``x; returns the report.
+
+    Each pass restarts the trace clock.  Requests are sequential (the
+    capture was too), so latency numbers are honest per-request
+    round-trips, not queueing artifacts of the harness itself.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    latencies: List[float] = []
+    hit_latencies: List[float] = []
+    miss_latencies: List[float] = []
+    hits = misses = errors = 0
+    started = time.monotonic()
+    for _ in range(repeat):
+        base = time.monotonic()
+        for entry in entries:
+            target = base + entry.t / speed
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            issued = time.monotonic()
+            response = client.request(entry.method, entry.path, entry.body)
+            latency = time.monotonic() - issued
+            latencies.append(latency)
+            if response.status >= 400:
+                errors += 1
+            if response.cache == "hit":
+                hits += 1
+                hit_latencies.append(latency)
+            elif response.cache == "miss":
+                misses += 1
+                miss_latencies.append(latency)
+    total = len(latencies)
+    return {
+        "schema": "repro-replay/1",
+        "requests": total,
+        "speed": speed,
+        "repeat": repeat,
+        "duration_s": time.monotonic() - started,
+        "hits": hits,
+        "misses": misses,
+        "errors": errors,
+        "hit_rate": (hits / total) if total else 0.0,
+        "latency": _latency_summary(latencies),
+        "hit_latency": _latency_summary(hit_latencies),
+        "miss_latency": _latency_summary(miss_latencies),
+    }
