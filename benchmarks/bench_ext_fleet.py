@@ -43,3 +43,42 @@ def test_ext_fleet_100(benchmark, rng, report, spec):
         rounds=3,
         iterations=1,
     )
+
+
+def test_ext_fleet_1k_vec(benchmark, rng, report, spec):
+    """The vectorized engine at 1k nodes with churn, mobility and drift
+    (the fleet1k registry variant's workload; DESIGN.md §10)."""
+    config = FleetConfig(
+        num_devices=1000,
+        num_rounds=2,
+        leave_prob=0.05,
+        join_prob=0.5,
+        mobility_fraction=0.15,
+        fleet_backend="vec",
+        resync_interval_rounds=2,
+        drift_wander_ppm=2.0,
+    )
+    result = run_fleet_campaign(rng, config)
+    summary = result.summary()
+    report(format_fleet(summary))
+    benchmark.extra_info["coverage"] = summary["mean_coverage"]
+    benchmark.extra_info["round_duration_s"] = summary["mean_round_duration_s"]
+    benchmark.extra_info["energy_j"] = summary["mean_energy_j_per_round"]
+    benchmark.extra_info["max_abs_clock_offset_s"] = summary[
+        "max_abs_clock_offset_s"
+    ]
+
+    # Every transmit-allowed device syncs and transmits, and the drift
+    # model actually accrued offsets between the 2-round resyncs.
+    assert summary["mean_transmit_ratio"] == 1.0
+    assert summary["max_abs_clock_offset_s"] > 0
+    assert summary["mean_energy_j_per_round"] > 0
+
+    benchmark.pedantic(
+        lambda: run_fleet_campaign(
+            np.random.default_rng(23),
+            FleetConfig(num_devices=1000, num_rounds=1, fleet_backend="vec"),
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -35,6 +35,13 @@ the committed baseline and fails (exit 1) when:
   0.25 s) — a cache hit is a disk read, so a slow one means the hit
   path started recomputing.
 
+* the fleet-engine rows (``fleet.fleet1k``, when recorded): the
+  vec-vs-event summaries must be byte-identical (``parity``), the
+  ``speedup_vec`` column must clear ``--min-fleet-speedup`` (default
+  3.0x — an absolute floor well under the ~10x a quiet host shows, so
+  CI noise cannot fail a healthy engine but a de-vectorized one
+  cannot hide), and the 10k scale row must be present and complete.
+
 Figures whose current legacy time is under ``--min-seconds`` (default
 0.05 s, e.g. fig22 at smoke scales) are reported but not gated — at
 millisecond scale the speedup ratio is timer noise.
@@ -69,10 +76,12 @@ def check(
     min_seconds: float = 0.05,
     allow_new_figures: bool = False,
     max_warm_p50: float = 0.25,
+    min_fleet_speedup: float = 3.0,
 ) -> List[str]:
     """Return the list of violations (empty when the gate passes)."""
     violations: List[str] = []
     violations.extend(_check_service(baseline, current, max_warm_p50))
+    violations.extend(_check_fleet(baseline, current, min_fleet_speedup))
     base_figs = baseline.get("figures", {})
     cur_figs = current.get("figures", {})
     # Figures only the current artifact knows about are never compared
@@ -182,12 +191,81 @@ def _check_service(
     return violations
 
 
+def _check_fleet(
+    baseline: Dict, current: Dict, min_fleet_speedup: float
+) -> List[str]:
+    """Gate the fleet vec-vs-event rows (when this run recorded them).
+
+    ``speedup_vec`` is gated by an *absolute* floor, not a baseline
+    ratio: the vec-vs-event ratio is a Python-vs-Python property of the
+    engines, largely host-independent, and the floor (default 3.0x,
+    far under the ~10x a quiet host measures) only catches an engine
+    that stopped being vectorized.  ``parity`` is a hard gate — the vec
+    backend's whole contract is byte-identical summaries.
+    """
+    violations: List[str] = []
+    fleet = current.get("fleet")
+    if fleet is None:
+        if baseline.get("fleet") is not None:
+            violations.append(
+                "fleet: vec-vs-event rows present in baseline but missing "
+                "from the current artifact"
+            )
+        return violations
+    if "error" in fleet:
+        violations.append(f"fleet: errored: {fleet['error']}")
+        return violations
+    row = fleet.get("fleet1k")
+    if row is None:
+        violations.append("fleet: fleet1k A/B row missing")
+    else:
+        speedup = float(row.get("speedup_vec", 0.0))
+        print(
+            f"  fleet/fleet1k: vec {speedup:.1f}x over event "
+            f"(floor {min_fleet_speedup:.1f}x), "
+            f"parity {'OK' if row.get('parity') else 'BROKEN'}"
+        )
+        if not row.get("parity"):
+            violations.append(
+                "fleet: fleet1k vec summary diverged from the event backend "
+                "— the parity contract (DESIGN.md §10) is broken"
+            )
+        if speedup < min_fleet_speedup:
+            violations.append(
+                f"fleet: fleet1k vec speedup {speedup:.2f}x below the "
+                f"{min_fleet_speedup:.2f}x floor"
+            )
+    row10 = fleet.get("fleet10k")
+    if row10 is None:
+        violations.append("fleet: fleet10k scale row missing")
+    else:
+        missing = [
+            key
+            for key in (
+                "vec",
+                "mean_energy_j_per_round",
+                "mean_abs_clock_offset_s",
+                "max_abs_clock_offset_s",
+            )
+            if key not in row10
+        ]
+        print(
+            f"  fleet/fleet10k: vec {float(row10.get('vec', 0.0)):.1f}s "
+            f"({row10.get('rounds', '?')} round(s))"
+        )
+        if missing:
+            violations.append(
+                f"fleet: fleet10k row incomplete (missing {', '.join(missing)})"
+            )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
-        default="BENCH_PR6.json",
-        help="committed baseline artifact (default: BENCH_PR6.json)",
+        default="BENCH_PR8.json",
+        help="committed baseline artifact (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--allow-new-figures",
@@ -235,6 +313,16 @@ def main(argv=None) -> int:
             "a hit path that recomputes, not timer jitter)"
         ),
     )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=3.0,
+        help=(
+            "absolute floor for the fleet vec-vs-event speedup column "
+            "(default 3.0: far below the ~10x a quiet host measures, so "
+            "only a de-vectorized engine can fail it)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -249,6 +337,7 @@ def main(argv=None) -> int:
         min_seconds=args.min_seconds,
         allow_new_figures=args.allow_new_figures,
         max_warm_p50=args.max_warm_p50,
+        min_fleet_speedup=args.min_fleet_speedup,
     )
     if not violations:
         print("perf gate: OK")

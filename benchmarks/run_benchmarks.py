@@ -175,6 +175,81 @@ def bench_service(
     return timings
 
 
+def bench_fleet(scale: float) -> Dict[str, object]:
+    """Fleet-engine A/B: the event backend vs the vectorized engine.
+
+    ``fleet1k`` times an identical 1000-node churn+mobility campaign on
+    both backends (same seed; the summaries must be byte-identical —
+    recorded as ``parity``) and reports ``speedup_vec``, the column
+    ``check_regression.py`` gates.  ``fleet10k`` is the scale row: a
+    10k-node churn+mobility campaign with oscillator wander and 2-round
+    resync on the vec engine only (the event backend needs tens of
+    minutes per round at this size), recording wall clock plus the
+    energy and clock-drift stats from the summary.
+    """
+    from repro.simulate.des.fleet import FleetConfig, run_fleet_campaign
+
+    def _run(backend: str, **kwargs):
+        config = FleetConfig(fleet_backend=backend, **kwargs)
+        rng = np.random.default_rng(2023)
+        start = time.perf_counter()
+        result = run_fleet_campaign(rng, config)
+        return result.summary(), time.perf_counter() - start
+
+    out: Dict[str, object] = {}
+    try:
+        # Warm both engines so first-call numpy dispatch overhead does
+        # not land inside either timed run.
+        _run("event", num_devices=30, num_rounds=1)
+        _run("vec", num_devices=30, num_rounds=1)
+
+        rounds = max(1, int(round(3 * scale)))
+        kw = dict(
+            num_devices=1000,
+            num_rounds=rounds,
+            leave_prob=0.05,
+            join_prob=0.5,
+            mobility_fraction=0.15,
+        )
+        event_summary, t_event = _run("event", **kw)
+        vec_summary, t_vec = _run("vec", **kw)
+        out["fleet1k"] = {
+            "num_devices": 1000,
+            "rounds": rounds,
+            "event": t_event,
+            "vec": t_vec,
+            "speedup_vec": t_event / t_vec,
+            "parity": json.dumps(event_summary, sort_keys=True)
+            == json.dumps(vec_summary, sort_keys=True),
+        }
+
+        rounds10 = max(1, int(round(2 * scale)))
+        summary10, t10 = _run(
+            "vec",
+            num_devices=10000,
+            num_rounds=rounds10,
+            leave_prob=0.05,
+            join_prob=0.5,
+            mobility_fraction=0.15,
+            resync_interval_rounds=2,
+            drift_wander_ppm=2.0,
+        )
+        out["fleet10k"] = {
+            "num_devices": 10000,
+            "rounds": rounds10,
+            "vec": t10,
+            "mean_coverage": summary10["mean_coverage"],
+            "mean_round_duration_s": summary10["mean_round_duration_s"],
+            "mean_energy_j_per_round": summary10["mean_energy_j_per_round"],
+            "max_energy_j_per_round": summary10["max_energy_j_per_round"],
+            "mean_abs_clock_offset_s": summary10["mean_abs_clock_offset_s"],
+            "max_abs_clock_offset_s": summary10["max_abs_clock_offset_s"],
+        }
+    except Exception:
+        out["error"] = f"fleet bench raised:\n{traceback.format_exc(limit=8)}"
+    return out
+
+
 def bench_kernels() -> Dict[str, Dict[str, float]]:
     """Hot-kernel A/Bs: the Python-loop paths the batch engine replaced."""
     from repro.channel.multipath import PathTap
@@ -298,6 +373,11 @@ def main(argv=None) -> int:
         help="skip the campaign-service cold/warm rows",
     )
     parser.add_argument(
+        "--skip-fleet",
+        action="store_true",
+        help="skip the fleet vec-vs-event rows (1k A/B + 10k scale row)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="worker count for --campaign"
     )
     args = parser.parse_args(argv)
@@ -368,6 +448,28 @@ def main(argv=None) -> int:
                 f"  cold {svc['service_cold']:.2f}s  "
                 f"warm p50 {svc['service_warm'] * 1e3:.2f}ms  "
                 f"(x{svc['speedup_warm']:.0f} faster)"
+            )
+    if not args.skip_fleet:
+        print("timing fleet engines (event vs vec) ...", flush=True)
+        doc["fleet"] = bench_fleet(args.scale)
+        fleet = doc["fleet"]
+        if "error" in fleet:
+            failures.append("fleet")
+            print(f"  FAILED: {fleet['error']}")
+        else:
+            row = fleet["fleet1k"]
+            print(
+                f"  fleet1k: event {row['event']:.2f}s  vec {row['vec']:.2f}s  "
+                f"speedup {row['speedup_vec']:.1f}x  "
+                f"parity {'OK' if row['parity'] else 'BROKEN'}"
+            )
+            row10 = fleet["fleet10k"]
+            print(
+                f"  fleet10k: vec {row10['vec']:.2f}s "
+                f"({row10['rounds']} round(s), "
+                f"coverage {row10['mean_coverage']:.1%}, "
+                f"{row10['mean_energy_j_per_round']:.0f} J/round, "
+                f"drift max {row10['max_abs_clock_offset_s'] * 1e3:.1f} ms)"
             )
     if not args.skip_kernels:
         print("timing kernels ...", flush=True)

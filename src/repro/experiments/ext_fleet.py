@@ -58,6 +58,17 @@ def format_fleet(summary: Dict[str, Any]) -> str:
         f"  energy per round     -> {summary['mean_energy_j_per_round']:.1f} J mean, "
         f"{summary['max_energy_j_per_round']:.1f} J max",
     ]
+    if summary["duty_silenced_total"]:
+        lines.append(
+            f"  duty-cycle silenced  -> {summary['duty_silenced_total']} "
+            "device-rounds"
+        )
+    if summary["max_abs_clock_offset_s"] > 0:
+        lines.append(
+            f"  clock offset         -> "
+            f"{summary['mean_abs_clock_offset_s'] * 1e3:.2f} ms mean, "
+            f"{summary['max_abs_clock_offset_s'] * 1e3:.2f} ms max"
+        )
     return "\n".join(lines)
 
 
@@ -83,8 +94,44 @@ def format_fleet(summary: Dict[str, Any]) -> str:
             "contention",
             {"num_devices": 50, "mac": "contention"},
         ),
+        # Scale variants run on the vectorized engine (bit-identical to
+        # "event"; see DESIGN.md §10) with churn, mobility, oscillator
+        # wander and a 2-round resync interval, so energy and drift
+        # stats are exercised at fleet scale.
+        engine.Variant(
+            "fleet1k",
+            {
+                "num_devices": 1000,
+                "num_rounds": 2,
+                "leave_prob": 0.05,
+                "join_prob": 0.5,
+                "mobility_fraction": 0.15,
+                "fleet_backend": "vec",
+                "resync_interval_rounds": 2,
+                "drift_wander_ppm": 2.0,
+            },
+        ),
+        engine.Variant(
+            "fleet10k",
+            {
+                "num_devices": 10000,
+                "num_rounds": 2,
+                "leave_prob": 0.05,
+                "join_prob": 0.5,
+                "mobility_fraction": 0.15,
+                "fleet_backend": "vec",
+                "resync_interval_rounds": 2,
+                "drift_wander_ppm": 2.0,
+            },
+        ),
     ),
-    sweepable=("num_devices", "mac", "leave_prob", "mobility_fraction"),
+    sweepable=(
+        "num_devices",
+        "mac",
+        "leave_prob",
+        "mobility_fraction",
+        "fleet_backend",
+    ),
 )
 def campaign(
     rng: np.random.Generator,
@@ -97,6 +144,10 @@ def campaign(
     join_prob: float = 0.5,
     mobility_fraction: float = 0.0,
     relay: bool = True,
+    fleet_backend: str = "event",
+    resync_interval_rounds: int = 1,
+    drift_wander_ppm: float = 0.0,
+    duty_cycle=None,
 ) -> engine.ExperimentOutput:
     """One fleet variant through the DES campaign runner."""
     config = FleetConfig(
@@ -107,6 +158,10 @@ def campaign(
         join_prob=join_prob,
         mobility_fraction=mobility_fraction,
         relay=relay,
+        fleet_backend=fleet_backend,
+        resync_interval_rounds=resync_interval_rounds,
+        drift_wander_ppm=drift_wander_ppm,
+        duty_cycle=duty_cycle,
     )
     result = run_fleet_campaign(rng, config)
     summary = result.summary()

@@ -154,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap the campaign in cProfile and write profile.pstats next "
+            "to the --json artifact (or into the working directory); "
+            "implies serial in-process execution so the profile actually "
+            "sees the compute"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the experiment registry and exit"
     )
     return parser
@@ -246,28 +256,51 @@ def main(argv=None) -> int:
             print(result.error)
             print(f"----- {result.label} FAILED after {result.wall_time_s:.1f} s")
 
-    if args.cache_dir:
-        from repro.service.store import CacheStoreError
+    profiler = None
+    if args.profile:
+        import cProfile
 
-        try:
-            results = _run_cached(args, selected, sweep, show)
-        except CacheStoreError as exc:
-            # A bad --cache-dir must fail before any compute starts,
-            # with an actionable message — not crash mid-campaign.
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    else:
-        results = run_campaign(
-            selected,
-            base_seed=args.seed,
-            workers=args.workers,
-            scale=args.scale,
-            sweep=sweep,
-            trial_chunks=args.trial_chunks,
-            backend=args.backend,
-            pipeline=args.pipeline,
-            progress=show,
-        )
+        if args.workers != 1:
+            # Worker processes would run the compute outside the
+            # profiler; a profiled campaign is serial by construction.
+            print("--profile forces --workers 1 (in-process execution)")
+            args.workers = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
+
+    try:
+        if args.cache_dir:
+            from repro.service.store import CacheStoreError
+
+            try:
+                results = _run_cached(args, selected, sweep, show)
+            except CacheStoreError as exc:
+                # A bad --cache-dir must fail before any compute starts,
+                # with an actionable message — not crash mid-campaign.
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            results = run_campaign(
+                selected,
+                base_seed=args.seed,
+                workers=args.workers,
+                scale=args.scale,
+                sweep=sweep,
+                trial_chunks=args.trial_chunks,
+                backend=args.backend,
+                pipeline=args.pipeline,
+                progress=show,
+            )
+    finally:
+        if profiler is not None:
+            import os.path
+
+            profiler.disable()
+            stats_path = os.path.join(
+                os.path.dirname(args.json) or ".", "profile.pstats"
+            ) if args.json else "profile.pstats"
+            profiler.dump_stats(stats_path)
+            print(f"wrote profile to {stats_path}")
 
     if args.json:
         write_campaign_json(

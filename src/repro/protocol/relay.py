@@ -110,19 +110,36 @@ def plan_relays(
     if not missing:
         return plan
 
+    # Candidate relays per missing source: in range of the leader AND
+    # heard the source. Built by inverting each direct relay's reception
+    # set once (O(direct x degree)) instead of probing every relay per
+    # source (O(missing x direct)); relays land in ``direct`` iteration
+    # order, exactly as the per-source membership scan produced them.
+    missing_set = set(missing)
+    candidates_for: Dict[int, List[int]] = {s: [] for s in missing}
+    for r in direct:
+        if r == 0:
+            continue
+        report = reports.get(r)
+        if report is None:
+            continue
+        for source in report.receptions:
+            if source in missing_set:
+                candidates_for[source].append(r)
+
     load: Dict[int, int] = {i: 0 for i in direct if i != 0}
     for source in missing:
-        # Candidate relays: in range of the leader AND heard the source.
-        candidates = [
-            r
-            for r in direct
-            if r != 0 and r in reports and reports[r].heard(source)
-        ]
+        candidates = candidates_for[source]
         if not candidates:
             plan.unreachable.append(source)
             continue
         if distances is not None:
-            candidates.sort(key=lambda r: distances[r, source])
+            if hasattr(distances, "row"):
+                keys = distances.row(source, candidates)
+            else:
+                keys = [distances[r, source] for r in candidates]
+            order = sorted(range(len(candidates)), key=keys.__getitem__)
+            candidates = [candidates[k] for k in order]
         else:
             candidates.sort(key=lambda r: load[r])
         # Least-loaded among the nearest two keeps waves low.

@@ -100,3 +100,25 @@ class EnergyAccount:
 
     def joules(self, state: str) -> float:
         return self.model.power_w(state) * self.seconds[state]
+
+
+def total_joules_arrays(
+    model: EnergyModel,
+    idle_s,
+    rx_s,
+    tx_s,
+    sleep_s=0.0,
+):
+    """Vectorized :attr:`EnergyAccount.total_joules` over node arrays.
+
+    Sums the per-state energies in the same state order (idle, rx, tx,
+    sleep) and association as the scalar property, so an array backend
+    charging the identical per-node second totals reports bit-identical
+    joules.
+    """
+    return (
+        model.idle_w * idle_s
+        + model.rx_w * rx_s
+        + model.tx_w * tx_s
+        + model.sleep_w * sleep_s
+    )

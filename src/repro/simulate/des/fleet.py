@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.constants import MAX_RANGE_M, T_PACKET_S
+from repro.devices.clock import DeviceClock
 from repro.errors import ConfigurationError
 from repro.protocol.messages import TimestampReport
 from repro.protocol.relay import plan_relays, relay_uplink_latency_s
@@ -69,6 +70,26 @@ class FleetConfig:
     mobility_fraction / speed_range_mps / amplitude_range_m:
         Fraction of non-leader devices swimming back and forth during
         rounds, and their kinematics.
+    fleet_backend:
+        ``"event"`` (per-node objects on the event loop, the parity
+        reference) or ``"vec"`` (struct-of-arrays engine in
+        :mod:`repro.simulate.des.fleetvec`; bit-identical summaries,
+        built for 1k-10k-node fleets).
+    resync_interval_rounds:
+        Clock-drift bookkeeping: devices whose report reached the
+        leader re-zero their accumulated offset every this-many rounds
+        (1 = every round). Intervals > 1 let offsets build up between
+        resyncs and shift the local clocks actually used in the rounds.
+    drift_wander_ppm:
+        Std-dev of a per-round random-walk component added to each
+        device's oscillator rate (models wander beyond the static
+        skew). 0 disables the draw entirely.
+    duty_cycle:
+        Airtime budget as a fraction (e.g. 0.01 = 1%): after a
+        transmission a device must stay silent for
+        ``airtime / duty_cycle`` seconds of campaign time before it may
+        transmit again (the leader is exempt — it anchors every round).
+        ``None`` disables duty-cycle regulation.
     """
 
     num_devices: int = 100
@@ -85,6 +106,10 @@ class FleetConfig:
     mobility_fraction: float = 0.0
     speed_range_mps: Tuple[float, float] = (0.15, 0.5)
     amplitude_range_m: Tuple[float, float] = (2.0, 6.0)
+    fleet_backend: str = "event"
+    resync_interval_rounds: int = 1
+    drift_wander_ppm: float = 0.0
+    duty_cycle: Optional[float] = None
 
     def __post_init__(self):
         if self.num_devices < 2:
@@ -93,11 +118,21 @@ class FleetConfig:
             raise ConfigurationError("fleet campaign needs at least 1 round")
         if self.mac not in ("tdma", "contention"):
             raise ConfigurationError(f"unknown MAC policy {self.mac!r}")
+        if self.fleet_backend not in ("event", "vec"):
+            raise ConfigurationError(
+                f"unknown fleet backend {self.fleet_backend!r}"
+            )
         if not 0.0 <= self.mobility_fraction <= 1.0:
             raise ConfigurationError("mobility_fraction must be in [0, 1]")
         for name in ("leave_prob", "join_prob"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.resync_interval_rounds < 1:
+            raise ConfigurationError("resync_interval_rounds must be >= 1")
+        if self.drift_wander_ppm < 0.0:
+            raise ConfigurationError("drift_wander_ppm must be non-negative")
+        if self.duty_cycle is not None and not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
 
     @property
     def area(self) -> float:
@@ -127,6 +162,11 @@ class FleetRoundStats:
     uplink_latency_s: float
     mean_energy_j: float
     max_energy_j: float
+    # Filled by the campaign loop (duty/drift state lives across
+    # rounds, not inside one DES run).
+    duty_silenced: int = 0
+    mean_abs_clock_offset_s: float = 0.0
+    max_abs_clock_offset_s: float = 0.0
 
     @property
     def coverage(self) -> float:
@@ -176,6 +216,15 @@ class FleetResult:
                 [r.mean_energy_j for r in self.rounds]
             ),
             "max_energy_j_per_round": max(r.max_energy_j for r in self.rounds),
+            "duty_silenced_total": int(
+                sum(r.duty_silenced for r in self.rounds)
+            ),
+            "mean_abs_clock_offset_s": mean(
+                [r.mean_abs_clock_offset_s for r in self.rounds]
+            ),
+            "max_abs_clock_offset_s": max(
+                r.max_abs_clock_offset_s for r in self.rounds
+            ),
             "churn_leaves": self.leaves,
             "churn_joins": self.joins,
         }
@@ -203,6 +252,107 @@ def _build_trajectories(
     return trajectories
 
 
+class PositionDistances:
+    """Lazy pairwise-distance view over an ``(N, 3)`` position array.
+
+    Drop-in for the dense ``Scenario.true_distances()`` matrix where
+    only ``distances[r, s]`` lookups are needed (relay planning): each
+    entry is computed on demand with the same squared-difference
+    reduction the matrix uses, so the values are bit-identical — but a
+    10k-node fleet no longer materialises an 800 MB array.
+    """
+
+    def __init__(self, positions: np.ndarray):
+        self._pts = np.asarray(positions, dtype=float)
+
+    def __getitem__(self, key: Tuple[int, int]) -> float:
+        r, s = key
+        diff = self._pts[r] - self._pts[s]
+        return float(np.sqrt((diff**2).sum()))
+
+    def row(self, source: int, ids) -> list:
+        """Distances from ``source`` to each id, as one vectorized row.
+
+        The per-row reduction is bit-identical to ``self[id, source]``,
+        so relay planning can rank a candidate list in one call.
+        """
+        diff = self._pts[ids] - self._pts[source]
+        return np.sqrt((diff**2).sum(axis=1)).tolist()
+
+
+def _finish_round(
+    scenario: Scenario,
+    config: FleetConfig,
+    active: List[int],
+    reports: Dict[int, TimestampReport],
+    leader_heard: set,
+    missed_slots: int,
+    collisions: int,
+    tx_attempts: int,
+    gave_up: int,
+    energies,
+    duration: float,
+) -> Tuple[FleetRoundStats, float]:
+    """Round post-processing shared by the event and vec backends:
+    uplink/relay planning and the stats row. Both backends hand over
+    the same report dicts and per-node aggregates, so everything from
+    here on is backend-independent by construction."""
+    transmitted = sorted(reports)
+    silent_count = len(active) - len(transmitted)
+
+    # Uplink: devices whose beacon the leader heard can reach it with
+    # their FSK report; the rest need the two-hop relay.
+    direct = {0} | {i for i in transmitted if i in leader_heard}
+    relayed_count = 0
+    unreachable_count = 0
+    waves = 0
+    if config.relay:
+        # Inactive and silent devices have no report to carry, so they
+        # are marked "direct" to keep the planner focused on genuinely
+        # active-but-unheard reporters; having no reports of their own,
+        # they can never be chosen as relays either. Everything without
+        # a report is exactly the complement of the report owners, so
+        # one boolean mask replaces the former per-round set algebra.
+        pinned = np.ones(scenario.num_devices, dtype=bool)
+        pinned[transmitted] = False
+        pinned[sorted(direct)] = True
+        plan = plan_relays(
+            scenario.num_devices,
+            [int(i) for i in np.flatnonzero(pinned)],
+            reports,
+            distances=PositionDistances(scenario.positions),
+        )
+        relayed_count = len(plan.assignments)
+        unreachable_count = len(plan.unreachable)
+        waves = plan.num_waves
+        uplink_latency = relay_uplink_latency_s(scenario.num_devices, plan)
+    else:
+        from repro.protocol.uplink import communication_latency_s
+
+        unreachable_count = len([i for i in transmitted if i not in direct])
+        uplink_latency = communication_latency_s(scenario.num_devices)
+
+    stats = FleetRoundStats(
+        round_index=0,  # filled by the campaign loop
+        active=len(active),
+        transmitted=len(transmitted),
+        silent=silent_count,
+        missed_slots=missed_slots,
+        collisions=collisions,
+        tx_attempts=tx_attempts,
+        gave_up=gave_up,
+        direct_reports=len(direct) - 1,
+        relayed_reports=relayed_count,
+        unreachable=unreachable_count,
+        relay_waves=waves,
+        round_duration_s=float(duration),
+        uplink_latency_s=float(uplink_latency),
+        mean_energy_j=float(np.mean(energies)),
+        max_energy_j=float(np.max(energies)),
+    )
+    return stats, duration + uplink_latency
+
+
 def _run_fleet_round(
     scenario: Scenario,
     active: List[int],
@@ -210,7 +360,9 @@ def _run_fleet_round(
     campaign_time_s: float,
     config: FleetConfig,
     rng: np.random.Generator,
-) -> Tuple[FleetRoundStats, Dict[int, TimestampReport], float]:
+    may_transmit: Optional[np.ndarray] = None,
+    epoch_eff: Optional[np.ndarray] = None,
+) -> Tuple[FleetRoundStats, Dict[int, TimestampReport], float, Dict[int, float]]:
     """One DES round over the currently active devices."""
     sound_speed = scenario.sound_speed()
     sim = Simulator()
@@ -222,7 +374,13 @@ def _run_fleet_round(
         return trajectory.position(campaign_time_s + t_s)
 
     def distance_fn(rx: int, tx: int, t_s: float) -> float:
-        return float(np.linalg.norm(position_of(rx, t_s) - position_of(tx, t_s)))
+        # Squared-difference reduction, NOT np.linalg.norm: the BLAS dot
+        # behind the 1-D norm contracts with FMA and disagrees with any
+        # batched row norm in the last bit, while this formulation is
+        # bit-identical to the vec backend's vectorized distance rows
+        # (and to Scenario.true_distances / PositionDistances entries).
+        diff = position_of(rx, t_s) - position_of(tx, t_s)
+        return float(np.sqrt((diff**2).sum()))
 
     error_model = config.error_model
     medium = AcousticMedium(
@@ -249,12 +407,20 @@ def _run_fleet_round(
     nodes: Dict[int, DesNode] = {}
     for device_id in active:
         device = scenario.devices[device_id]
+        if epoch_eff is not None:
+            device.clock = DeviceClock(
+                skew_ppm=device.clock.skew_ppm,
+                epoch_s=float(epoch_eff[device_id]),
+            )
         nodes[device_id] = DesNode(
             device,
             sim,
             medium,
             mac,
             energy=EnergyAccount(EnergyModel.from_device_model(device.model)),
+            may_transmit=(
+                True if may_transmit is None else bool(may_transmit[device_id])
+            ),
         )
     duration = sim.run()
     for node in nodes.values():
@@ -265,58 +431,26 @@ def _run_fleet_round(
         for device_id, node in nodes.items()
         if node.own_tx_local_s is not None
     }
-    transmitted = sorted(reports)
-    silent = [i for i in active if i not in reports]
-
-    # Uplink: devices whose beacon the leader heard can reach it with
-    # their FSK report; the rest need the two-hop relay.
-    leader = nodes[0]
-    direct = {0} | {i for i in transmitted if i in leader.received}
-    relayed_count = 0
-    unreachable_count = 0
-    waves = 0
-    if config.relay:
-        # Inactive and silent devices have no report to carry, so they
-        # are marked "direct" to keep the planner focused on genuinely
-        # active-but-unheard reporters; having no reports of their own,
-        # they can never be chosen as relays either.
-        no_report = (set(range(scenario.num_devices)) - set(active)) | set(silent)
-        plan = plan_relays(
-            scenario.num_devices,
-            sorted(direct | no_report),
-            reports,
-            distances=scenario.true_distances(),
-        )
-        relayed_count = len(plan.assignments)
-        unreachable_count = len(plan.unreachable)
-        waves = plan.num_waves
-        uplink_latency = relay_uplink_latency_s(scenario.num_devices, plan)
-    else:
-        from repro.protocol.uplink import communication_latency_s
-
-        unreachable_count = len([i for i in transmitted if i not in direct])
-        uplink_latency = communication_latency_s(scenario.num_devices)
-
+    tx_times = {
+        device_id: float(node.tx_time_global_s)
+        for device_id, node in nodes.items()
+        if node.tx_time_global_s is not None
+    }
     energies = [node.energy.total_joules for _, node in sorted(nodes.items())]
-    stats = FleetRoundStats(
-        round_index=0,  # filled by the campaign loop
-        active=len(active),
-        transmitted=len(transmitted),
-        silent=len(silent),
+    stats, elapsed = _finish_round(
+        scenario,
+        config,
+        active,
+        reports,
+        leader_heard=set(nodes[0].received),
         missed_slots=sum(1 for n_ in nodes.values() if n_.missed_slot),
         collisions=sum(n_.collisions for n_ in nodes.values()),
         tx_attempts=sum(n_.tx_attempts for n_ in nodes.values()),
         gave_up=getattr(mac, "gave_up", 0),
-        direct_reports=len(direct) - 1,
-        relayed_reports=relayed_count,
-        unreachable=unreachable_count,
-        relay_waves=waves,
-        round_duration_s=float(duration),
-        uplink_latency_s=float(uplink_latency),
-        mean_energy_j=float(np.mean(energies)),
-        max_energy_j=float(np.max(energies)),
+        energies=energies,
+        duration=duration,
     )
-    return stats, reports, duration + uplink_latency
+    return stats, reports, elapsed, tx_times
 
 
 def run_fleet_campaign(
@@ -333,7 +467,28 @@ def run_fleet_campaign(
     trajectories = _build_trajectories(scenario, config, rng)
     result = FleetResult(config=config)
 
-    active = set(range(config.num_devices))
+    if config.fleet_backend == "vec":
+        from repro.simulate.des.fleetvec import run_fleet_round_vec
+
+        round_fn = run_fleet_round_vec
+    else:
+        round_fn = _run_fleet_round
+
+    num = config.num_devices
+    # Clock-drift and duty-cycle state live as campaign-level columns
+    # (one entry per device id), shared verbatim by both backends.
+    skew_ppm = np.array([d.clock.skew_ppm for d in scenario.devices])
+    epoch0 = np.array([d.clock.epoch_s for d in scenario.devices])
+    rates = 1.0 + skew_ppm * 1e-6
+    offsets = np.zeros(num)  # local-clock seconds accrued since resync
+    wander_ppm = np.zeros(num)  # oscillator random-walk component
+    next_tx_allowed = np.zeros(num)  # campaign time the budget reopens
+    # With per-round resync and no wander the offsets are diagnostics
+    # only — the clocks the nodes run on stay exactly the scenario
+    # draw, preserving historical campaign outputs bit for bit.
+    drift_applies = config.resync_interval_rounds > 1 or config.drift_wander_ppm > 0
+
+    active = set(range(num))
     departed: set = set()
     campaign_time = 0.0
     for round_index in range(config.num_rounds):
@@ -352,10 +507,48 @@ def run_fleet_campaign(
                     departed.discard(device_id)
                     active.add(device_id)
                     result.joins += 1
-        stats, _reports, elapsed = _run_fleet_round(
-            scenario, sorted(active), trajectories, campaign_time, config, rng
+            if config.drift_wander_ppm > 0:
+                wander_ppm = wander_ppm + rng.normal(
+                    0.0, config.drift_wander_ppm, num
+                )
+        active_ids = sorted(active)
+        if config.duty_cycle is not None:
+            may_transmit = next_tx_allowed <= campaign_time
+            may_transmit[0] = True  # the leader anchors every round
+        else:
+            may_transmit = None
+        epoch_eff = epoch0 - offsets / rates if drift_applies else None
+        stats, reports, elapsed, tx_times = round_fn(
+            scenario,
+            active_ids,
+            trajectories,
+            campaign_time,
+            config,
+            rng,
+            may_transmit=may_transmit,
+            epoch_eff=epoch_eff,
         )
         stats.round_index = round_index
+        if may_transmit is not None:
+            stats.duty_silenced = int(
+                sum(1 for i in active_ids if not may_transmit[i])
+            )
+            for device_id, tx_time in tx_times.items():
+                next_tx_allowed[device_id] = (
+                    campaign_time
+                    + tx_time
+                    + config.packet_duration_s / config.duty_cycle
+                )
+        # Drift accrues over the full round (DES time plus uplink);
+        # devices whose report reached the leader re-zero at resync
+        # boundaries, the rest keep drifting.
+        offsets = offsets + (skew_ppm + wander_ppm) * 1e-6 * elapsed
+        abs_offsets = np.abs(offsets[active_ids])
+        stats.mean_abs_clock_offset_s = float(np.mean(abs_offsets))
+        stats.max_abs_clock_offset_s = float(np.max(abs_offsets))
+        if (round_index + 1) % config.resync_interval_rounds == 0:
+            offsets[sorted(reports)] = 0.0
+            offsets[0] = 0.0
         result.rounds.append(stats)
         campaign_time += elapsed
     return result

@@ -84,6 +84,8 @@ class TdmaMac:
             return
         if node.sync_ref is not None:
             return  # already committed to a slot
+        if not node.may_transmit:
+            return  # duty-cycle budget exhausted: listen-only this round
         local_arrival = node.clock.local_time(arrival.arrival_time_s)
         tx_local, deferred = infer_transmit_slot(
             node.device_id,
@@ -162,6 +164,8 @@ class ContentionMac:
     def on_receive(self, node: DesNode, arrival: Arrival) -> None:
         if node.device_id == 0 or node.sync_ref is not None:
             return
+        if not node.may_transmit:
+            return  # duty-cycle budget exhausted: no backoff draw either
         node.sync_ref = arrival.sender_id
         backoff = self.delta0_s + float(self.rng.uniform(0.0, self.window_s))
         node.sim.after(backoff, self._attempt, node, 1, label=f"cca[{node.device_id}]")

@@ -93,6 +93,9 @@ class AcousticMedium:
         self.nodes: Dict[int, "DesNode"] = {}
         self.packets_sent = 0
         self.packets_dropped = 0
+        # Receiver visit order, cached between attach/detach calls so a
+        # large fleet does not re-sort the id list on every broadcast.
+        self._receiver_order: Optional[list] = None
 
     # ------------------------------------------------------------------
 
@@ -100,10 +103,12 @@ class AcousticMedium:
         if node.device_id in self.nodes:
             raise ConfigurationError(f"device {node.device_id} already attached")
         self.nodes[node.device_id] = node
+        self._receiver_order = None
 
     def detach(self, device_id: int) -> None:
         """Remove a node from the medium (churn leave)."""
         self.nodes.pop(device_id, None)
+        self._receiver_order = None
 
     # ------------------------------------------------------------------
 
@@ -125,7 +130,9 @@ class AcousticMedium:
         tx_time = self.sim.now if tx_time_s is None else float(tx_time_s)
         self.packets_sent += 1
         scheduled = 0
-        for receiver_id in sorted(self.nodes):
+        if self._receiver_order is None:
+            self._receiver_order = sorted(self.nodes)
+        for receiver_id in self._receiver_order:
             if receiver_id == sender_id:
                 continue
             node = self.nodes[receiver_id]

@@ -54,6 +54,7 @@ class DesNode:
         mac: "MacPolicy",
         energy: Optional[EnergyAccount] = None,
         listening: bool = True,
+        may_transmit: bool = True,
     ):
         self.device = device
         self.sim = sim
@@ -61,6 +62,10 @@ class DesNode:
         self.mac = mac
         self.energy = energy
         self.listening = listening
+        # Duty-cycle gate: a node whose airtime budget is exhausted
+        # keeps listening (and burning RX energy) but its MAC must not
+        # schedule a transmission this round.
+        self.may_transmit = may_transmit
         self.received: Dict[int, Tuple[float, float]] = {}
         self.tx_time_global_s: Optional[float] = None
         self.own_tx_local_s: Optional[float] = None

@@ -63,6 +63,55 @@ class LinearBackForthTrajectory:
         return np.asarray(self.center, dtype=float)
 
 
+def normalize_directions(directions: np.ndarray) -> np.ndarray:
+    """Unit directions exactly as the scalar trajectory computes them.
+
+    :meth:`LinearBackForthTrajectory.position` normalises with the 1-D
+    ``np.linalg.norm`` (a BLAS dot product whose FMA contraction can
+    differ from a vectorized row-norm in the last bit), so batch
+    callers must pre-normalise row by row through the same code path to
+    stay bit-identical.
+    """
+    d = np.asarray(directions, dtype=float)
+    out = np.empty_like(d)
+    for i in range(d.shape[0]):
+        norm = np.linalg.norm(d[i])
+        if norm == 0:
+            raise ValueError("direction must be non-zero")
+        out[i] = d[i] / norm
+    return out
+
+
+def linear_back_forth_positions(
+    centers: np.ndarray,
+    unit_directions: np.ndarray,
+    amplitudes_m: np.ndarray,
+    speeds_mps: np.ndarray,
+    t_s: float,
+) -> np.ndarray:
+    """Positions of many back-and-forth movers at one instant.
+
+    Evaluates :meth:`LinearBackForthTrajectory.position` for a whole
+    fleet of movers in one shot — same triangle wave, the same
+    floating-point expression per element — so the vectorized DES
+    backend sees bit-identical coordinates to the per-node scalar
+    calls. ``unit_directions`` must come from
+    :func:`normalize_directions` (normalising inside a batched norm
+    would diverge in the last bit); amplitudes must be positive (the
+    fleet mover draws guarantee it).
+    """
+    c = np.asarray(centers, dtype=float)
+    d = np.asarray(unit_directions, dtype=float)
+    amp = np.asarray(amplitudes_m, dtype=float)
+    if np.any(amp <= 0):
+        raise ValueError("amplitudes must be positive")
+    period = 4.0 * amp / np.asarray(speeds_mps, dtype=float)
+    phase = (t_s % period) / period  # 0..1
+    tri = 4.0 * phase
+    offset = np.where(tri < 1.0, tri, np.where(tri < 3.0, 2.0 - tri, tri - 4.0))
+    return c + d * (offset * amp)[:, None]
+
+
 def constant_velocity_path(
     start: np.ndarray,
     velocity_mps: np.ndarray,

@@ -217,15 +217,22 @@ def fleet_scenario(
     )
     half = area_xy_m / 2.0
     depth_hi = min(water_depth_m, 10.0)
-    positions = [np.array([0.0, 0.0, rng.uniform(0.5, depth_hi)])]
+    # Placed positions live in one preallocated (N, 3) buffer so the
+    # minimum-gap test is a single vectorized norm over every placed
+    # device instead of a per-device python loop: each norm reduces two
+    # squared components exactly like the scalar 2-vector norm did, so
+    # the accept/reject decisions (and hence the rng draw sequence and
+    # the resulting layout) are unchanged at any fleet size.
+    placed = np.empty((num_devices, 3), dtype=float)
+    placed[0] = (0.0, 0.0, rng.uniform(0.5, depth_hi))
     anchor_radius_hi = 0.8 * max_range_m
     # Depth is drawn near the anchor's depth (scaled to the range
     # limit) and the anchor link is checked in 3D, so connectedness
     # holds for short-range fleets too, not just the 32 m default.
     depth_jitter = 0.3 * max_range_m
-    for _ in range(1, num_devices):
+    for count in range(1, num_devices):
         for _attempt in range(400):
-            anchor = positions[int(rng.integers(len(positions)))]
+            anchor = placed[int(rng.integers(count))]
             radius = rng.uniform(min_separation_m, anchor_radius_hi)
             azimuth = rng.uniform(0.0, 2.0 * np.pi)
             pos = anchor + np.array(
@@ -239,9 +246,9 @@ def fleet_scenario(
                     depth_hi,
                 )
             )
-            gaps = [float(np.linalg.norm(pos[:2] - p[:2])) for p in positions]
+            gaps = np.linalg.norm(placed[:count, :2] - pos[:2], axis=1)
             if (
-                min(gaps) >= min_separation_m
+                float(gaps.min()) >= min_separation_m
                 and float(np.linalg.norm(pos - anchor)) <= 0.9 * max_range_m
             ):
                 break
@@ -251,9 +258,10 @@ def fleet_scenario(
                 f"{min_separation_m:.1f} m separation in a "
                 f"{area_xy_m:.0f} m area"
             )
-        positions.append(pos)
+        placed[count] = pos
     devices = [
-        make_device(i, positions[i], rng, model=model) for i in range(num_devices)
+        make_device(i, placed[i].copy(), rng, model=model)
+        for i in range(num_devices)
     ]
     return Scenario(environment=env, devices=devices, max_range_m=max_range_m)
 

@@ -195,6 +195,59 @@ class TestFleetCampaign:
         assert moving.summary()["mean_transmit_ratio"] == 1.0
 
 
+class TestUplinkBookkeepingRegression:
+    """Pins the campaign outputs around the uplink/no-report bookkeeping.
+
+    ``_finish_round`` marks everything without a report as "direct"
+    with one boolean mask instead of the former per-round
+    ``set(range(N)) - set(active)`` churn; these snapshots (event
+    backend, seed 4242) pin the surrounding metrics byte-for-byte so
+    the mask can never drift from the set semantics it replaced.
+    """
+
+    def _summary(self, **kw):
+        return run_fleet_campaign(
+            np.random.default_rng(4242), FleetConfig(**kw)
+        ).summary()
+
+    def test_tdma_churn_mobility_snapshot(self):
+        summary = self._summary(
+            num_devices=30,
+            num_rounds=3,
+            leave_prob=0.1,
+            join_prob=0.5,
+            mobility_fraction=0.2,
+        )
+        assert summary["churn_leaves"] == 2
+        assert summary["churn_joins"] == 0
+        assert summary["mean_active"] == 29.333333333333332
+        assert summary["mean_coverage"] == 0.9658730158730159
+        assert summary["mean_direct_reports"] == 18.666666666666668
+        assert summary["mean_relayed_reports"] == 8.666666666666666
+        assert summary["mean_unreachable"] == 1.0
+        assert summary["mean_relay_waves"] == 2.0
+        assert summary["mean_round_duration_s"] == 9.895049480753102
+        assert summary["mean_uplink_latency_s"] == 13.410000000000002
+        assert summary["mean_energy_j_per_round"] == 14.361519513302403
+        assert summary["max_energy_j_per_round"] == 15.057349733024171
+        assert summary["total_collisions"] == 7
+        assert summary["total_tx_attempts"] == 88
+
+    def test_contention_snapshot(self):
+        summary = self._summary(num_devices=25, num_rounds=2, mac="contention")
+        assert summary["mean_coverage"] == 0.96
+        assert summary["mean_direct_reports"] == 11.0
+        assert summary["mean_relayed_reports"] == 12.0
+        assert summary["mean_unreachable"] == 1.0
+        assert summary["mean_relay_waves"] == 2.5
+        assert summary["mean_round_duration_s"] == 15.349783896255438
+        assert summary["mean_uplink_latency_s"] == 13.02
+        assert summary["mean_energy_j_per_round"] == 21.530576659944842
+        assert summary["total_collisions"] == 100
+        assert summary["total_gave_up"] == 0
+        assert summary["total_tx_attempts"] == 50
+
+
 class TestFleetEngineWiring:
     def test_spec_registered_with_variants(self):
         spec = get_spec("fleet")
@@ -206,6 +259,8 @@ class TestFleetEngineWiring:
             "churn",
             "mobility",
             "contention",
+            "fleet1k",
+            "fleet10k",
         ]
         assert spec.paper  # analytic model references
         assert spec.cost == "heavy"
