@@ -28,7 +28,19 @@ the committed baseline and fails (exit 1) when:
   be required to show a gain, and its two pipeline threads genuinely
   contend; the floor only catches a pipeline that has become grossly
   more expensive than synchronous flushing) or regresses more than
-  ``--max-regression`` against a baseline that recorded it.
+  ``--max-regression`` against a baseline that recorded it;
+
+* the float32 tier (``speedup_float32`` = fast float64 / fast float32,
+  when recorded): fewer than ``--min-float32-figures`` (default 3) of
+  the heavy figures (figs 11–15) clear ``--min-float32-speedup``
+  (default 1.3x).  The gate counts figures instead of flooring each
+  one because the per-figure ratio rides how much of that figure's
+  wall clock is precision-independent Python (Phase-A planning, RNG);
+
+* any figure's ``contract_float32`` rows are non-empty — the float32
+  run violated the statistical contract against this run's own batch
+  metrics.  This is a *correctness* failure, not a perf reading, so it
+  fails the run even under ``BENCH_REGRESSION_SKIP=1``.
 
 * the campaign-service warm-hit p50 (``service.service_warm``, when
   recorded) exceeds the absolute ``--max-warm-p50`` bound (default
@@ -77,11 +89,16 @@ def check(
     allow_new_figures: bool = False,
     max_warm_p50: float = 0.25,
     min_fleet_speedup: float = 3.0,
+    min_float32_speedup: float = 1.3,
+    min_float32_figures: int = 3,
 ) -> List[str]:
     """Return the list of violations (empty when the gate passes)."""
     violations: List[str] = []
     violations.extend(_check_service(baseline, current, max_warm_p50))
     violations.extend(_check_fleet(baseline, current, min_fleet_speedup))
+    violations.extend(
+        _check_float32(current, min_float32_speedup, min_float32_figures)
+    )
     base_figs = baseline.get("figures", {})
     cur_figs = current.get("figures", {})
     # Figures only the current artifact knows about are never compared
@@ -260,12 +277,65 @@ def _check_fleet(
     return violations
 
 
+def _check_float32(
+    current: Dict, min_float32_speedup: float, min_float32_figures: int
+) -> List[str]:
+    """Gate the float32 precision tier (when this run recorded it).
+
+    Counts how many heavy figures (figs 11–15; fig22 is millisecond
+    scale) clear the float32-over-float64 speedup floor instead of
+    flooring every figure: the per-figure ratio depends on how much of
+    that figure's wall clock is precision-independent Python, so one
+    Phase-A-heavy figure must not fail an otherwise healthy tier.
+    """
+    violations: List[str] = []
+    figures = current.get("figures", {})
+    rows = {
+        name: float(fig["speedup_float32"])
+        for name, fig in figures.items()
+        if name in ("fig11", "fig12", "fig13", "fig14", "fig15")
+        and isinstance(fig, dict)
+        and "speedup_float32" in fig
+    }
+    if not rows:  # artifact predates the precision column
+        return violations
+    cleared = sorted(n for n, v in rows.items() if v >= min_float32_speedup)
+    summary = "  ".join(f"{n} {v:.2f}x" for n, v in sorted(rows.items()))
+    print(
+        f"  float32: {summary} — {len(cleared)}/{len(rows)} clear the "
+        f"{min_float32_speedup:.2f}x floor (need {min_float32_figures})"
+    )
+    if len(cleared) < min_float32_figures:
+        violations.append(
+            f"float32: only {len(cleared)} of {len(rows)} heavy figures "
+            f"reach {min_float32_speedup:.2f}x over fast float64 "
+            f"(need {min_float32_figures}): {summary}"
+        )
+    return violations
+
+
+def contract_violations(current: Dict) -> List[str]:
+    """Float32 statistical-contract rows recorded by the bench run.
+
+    Non-empty rows mean the float32 tier produced metrics outside the
+    registered tolerances of its own run — a correctness break, not a
+    perf reading.  ``main`` fails on these even under
+    ``BENCH_REGRESSION_SKIP=1``.
+    """
+    out: List[str] = []
+    for name, fig in sorted(current.get("figures", {}).items()):
+        if isinstance(fig, dict):
+            for violation in fig.get("contract_float32") or ():
+                out.append(f"{name}: float32 contract: {violation}")
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
-        default="BENCH_PR8.json",
-        help="committed baseline artifact (default: BENCH_PR8.json)",
+        default="BENCH_PR9.json",
+        help="committed baseline artifact (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--allow-new-figures",
@@ -323,6 +393,24 @@ def main(argv=None) -> int:
             "only a de-vectorized engine can fail it)"
         ),
     )
+    parser.add_argument(
+        "--min-float32-speedup",
+        type=float,
+        default=1.3,
+        help=(
+            "float32-over-float64 fast speedup a heavy figure must reach "
+            "to count toward --min-float32-figures (default 1.3)"
+        ),
+    )
+    parser.add_argument(
+        "--min-float32-figures",
+        type=int,
+        default=3,
+        help=(
+            "how many of figs 11-15 must clear --min-float32-speedup "
+            "(default 3)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -338,14 +426,25 @@ def main(argv=None) -> int:
         allow_new_figures=args.allow_new_figures,
         max_warm_p50=args.max_warm_p50,
         min_fleet_speedup=args.min_fleet_speedup,
+        min_float32_speedup=args.min_float32_speedup,
+        min_float32_figures=args.min_float32_figures,
     )
-    if not violations:
+    hard = contract_violations(current)
+    if not violations and not hard:
         print("perf gate: OK")
         return 0
     print("perf gate: FAILED")
-    for v in violations:
+    for v in violations + hard:
         print(f"  - {v}")
     if os.environ.get("BENCH_REGRESSION_SKIP") == "1":
+        if hard:
+            # A contract break is a correctness failure; noisy hardware
+            # is no excuse for wrong metrics.
+            print(
+                "BENCH_REGRESSION_SKIP=1 ignored: float32 contract "
+                "violations are correctness failures"
+            )
+            return 1
         print("BENCH_REGRESSION_SKIP=1: reporting only, not failing the run")
         return 0
     return 1

@@ -32,6 +32,7 @@ from typing import Dict
 import numpy as np
 
 from repro.experiments import engine
+from repro.experiments.fast_contract import FAST_FIGURES, compare_measured
 
 #: Figure entries that accept backend="legacy"|"batch"|"fast".
 FIGURES = ("fig11", "fig12", "fig13", "fig14", "fig15", "fig22")
@@ -52,19 +53,27 @@ def bench_figure(name: str, scale: float, repeats: int = 3) -> Dict[str, object]
     spec = engine.get_spec(name)
     entry = spec.resolve_entry()
     timings: Dict[str, object] = {}
+    measured: Dict[str, Dict] = {}
     # The executor A/B: "batch"/"fast" run with the default pipelined
     # flush (Phase B overlaps the next chunk's Phase A), while
     # "batch_sequential" forces pipeline=0 — the pre-pipeline executor.
-    cases = [(b, {}) for b in BACKENDS]
+    # "fast_float32" is the precision A/B: the same fast backend at
+    # single precision, gated against the batch run's measured metrics
+    # through the float32 tolerance table (a violation here fails the
+    # CI gate unconditionally — see benchmarks/check_regression.py).
+    cases = [(b, {"backend": b}) for b in BACKENDS]
     cases.append(("batch_sequential", {"backend": "batch", "pipeline": 0}))
-    for label, overrides in cases:
-        kwargs = {"backend": label, **overrides}
+    cases.append(("fast_float32", {"backend": "fast", "precision": "float32"}))
+    for label, kwargs in cases:
         try:
             # Best-of-N with a fresh substream per repeat (identical
             # workload each time): these ratios feed the CI regression
             # gate, so a single GC pause must not fail a build.
             timings[label] = _time_call(
-                lambda: entry(engine.experiment_rng(name), scale=scale, **kwargs),
+                lambda: measured.__setitem__(
+                    label,
+                    entry(engine.experiment_rng(name), scale=scale, **kwargs).measured,
+                ),
                 repeats,
             )
         except Exception:
@@ -75,6 +84,11 @@ def bench_figure(name: str, scale: float, repeats: int = 3) -> Dict[str, object]
     timings["speedup"] = timings["legacy"] / timings["batch"]
     timings["speedup_fast"] = timings["legacy"] / timings["fast"]
     timings["speedup_pipeline"] = timings["batch_sequential"] / timings["batch"]
+    timings["speedup_float32"] = timings["fast"] / timings["fast_float32"]
+    if name in FAST_FIGURES:
+        timings["contract_float32"] = compare_measured(
+            name, measured["batch"], measured["fast_float32"], precision="float32"
+        )
     return timings
 
 
@@ -404,6 +418,10 @@ def main(argv=None) -> int:
             "batch_sequential disables the Phase-A/Phase-B flush pipeline "
             "(pipeline=0); speedup_pipeline = batch_sequential/batch is the "
             "executor A/B (bit-identical outputs either way). "
+            "fast_float32 reruns the fast backend at single precision; "
+            "speedup_float32 = fast/fast_float32 is the precision A/B, and "
+            "contract_float32 records any float32 statistical-contract "
+            "violations against this run's batch metrics (must be empty). "
             "Kernel-level rows isolate the rewritten hot loops."
         ),
     }
@@ -418,11 +436,17 @@ def main(argv=None) -> int:
             continue
         print(
             f"  legacy {fig['legacy']:.2f}s  batch {fig['batch']:.2f}s  "
-            f"fast {fig['fast']:.2f}s  seq-flush {fig['batch_sequential']:.2f}s  "
+            f"fast {fig['fast']:.2f}s  fast32 {fig['fast_float32']:.2f}s  "
+            f"seq-flush {fig['batch_sequential']:.2f}s  "
             f"speedup {fig['speedup']:.2f}x "
             f"(fast {fig['speedup_fast']:.2f}x, "
+            f"float32 {fig['speedup_float32']:.2f}x, "
             f"pipeline {fig['speedup_pipeline']:.2f}x)"
         )
+        if fig.get("contract_float32"):
+            failures.append(name)
+            for violation in fig["contract_float32"]:
+                print(f"  FLOAT32 CONTRACT VIOLATION: {violation}")
     if args.campaign:
         print(f"timing campaign (workers {args.workers}) ...", flush=True)
         doc["campaign"] = bench_campaign(args.scale, workers=args.workers)

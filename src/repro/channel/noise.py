@@ -153,6 +153,10 @@ def _band_gain_shape(num_samples: int, sample_rate: float) -> np.ndarray:
     if num_samples % 2 == 0:
         weights[-1] = 1.0
     mean_power = float(np.sum(weights * gain**2)) / num_samples
+    if mean_power <= 0.0:
+        # Degenerate sizes (a DC-only spectrum) carry no in-band bins:
+        # the ambient component is zero, not 0/0.
+        return gain
     return gain / np.sqrt(mean_power)
 
 
@@ -181,6 +185,7 @@ def synth_noise_rows(
     sample_rate: float = SAMPLE_RATE,
     workers: int | None = None,
     z: np.ndarray | None = None,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Frequency-domain synthesis of ambient + hardware noise (fast mode).
 
@@ -208,17 +213,25 @@ def synth_noise_rows(
     pipelined executor draws it at the flush point on the producer
     thread so the substream's consumption order is bit-identical to a
     sequential run, then ships only the RNG-free shaping here.
-    """
-    from scipy.fft import irfft, next_fast_len
 
+    ``precision="float32"`` draws the normal block, shapes and
+    inverse-transforms the spectrum all in single precision (complex64
+    spectra, float32 rows): the RNG-substream contract is *per
+    precision tier* — within a tier, sequential and pipelined flushes
+    consume the substream identically (``z`` pre-drawing must use the
+    same dtype) — and float64 keeps its historic draw bits.
+    """
+    from repro.signals.xp import get_context
+
+    ctx = get_context(precision)
     lengths = [int(n) for n in lengths]
     rows = len(lengths)
     if rows == 0:
-        return np.zeros((0, 0))
+        return np.zeros((0, 0), dtype=ctx.real_dtype)
     n = max(lengths)
     if n <= 0:
-        return np.zeros((rows, 0))
-    nf = next_fast_len(n, True)
+        return np.zeros((rows, 0), dtype=ctx.real_dtype)
+    nf = ctx.next_fast_len(n, True)
     gain = _band_gain_shape(nf, float(sample_rate))
     amb = np.asarray(ambient_rms, dtype=float).reshape(rows)
     hw = np.asarray(hw_rms, dtype=float).reshape(rows)
@@ -228,16 +241,23 @@ def synth_noise_rows(
     for a, h in zip(amb, hw):
         key = (float(a), float(h))
         if key not in levels:
-            levels[key] = np.sqrt((a * gain) ** 2 + h**2) * np.sqrt(nf / 2.0)
+            level = np.sqrt((a * gain) ** 2 + h**2) * np.sqrt(nf / 2.0)
+            levels[key] = level.astype(ctx.real_dtype, copy=False)
     if z is None:
-        z = rng.standard_normal((rows, gain.size, 2))
+        # The draw dtype follows the working precision (float32 halves
+        # the per-trial RNG cost, the single largest fixed cost of the
+        # float32 tier).  A pipelined producer pre-drawing ``z`` must
+        # use the same dtype — see ``BatchExchangeRenderer.draw_noise_block``
+        # — so sequential and pipelined flushes consume the substream
+        # identically within a precision tier.
+        z = rng.standard_normal((rows, gain.size, 2), dtype=ctx.real_dtype)
     elif z.shape != (rows, gain.size, 2):
         raise ValueError(
             f"pre-drawn noise block has shape {z.shape}, "
             f"expected {(rows, gain.size, 2)}"
         )
-    spectrum = z[..., 0] + 1j * z[..., 1]
+    spectrum = (z[..., 0] + 1j * z[..., 1]).astype(ctx.complex_dtype, copy=False)
     for r, (a, h) in enumerate(zip(amb, hw)):
         spectrum[r] *= levels[(float(a), float(h))]
     fft_kwargs = {} if workers is None else {"workers": workers}
-    return irfft(spectrum, nf, axis=-1, **fft_kwargs)[:, :n]
+    return ctx.irfft(spectrum, nf, axis=-1, **fft_kwargs)[:, :n]

@@ -13,9 +13,10 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 from scipy import signal as sp_signal
-from scipy.fft import irfft, next_fast_len, rfft
+from scipy.fft import next_fast_len
 
 from repro.channel.multipath import PathTap
+from repro.signals.xp import get_context, precision_of
 
 
 def fir_length_for(
@@ -156,17 +157,25 @@ def render_taps_batch(
 
 
 class CachedWaveform:
-    """A transmit waveform with per-transform-length spectrum cache."""
+    """A transmit waveform with per-transform-length spectrum cache.
 
-    def __init__(self, waveform: np.ndarray):
-        self.waveform = np.asarray(waveform, dtype=float)
+    ``dtype`` fixes the working precision at construction (a float32
+    waveform caches complex64 spectra), and the FFT bindings come from
+    the array-namespace facade — the float64 path binds the historic
+    ``scipy.fft`` functions, so reference bits are unchanged.
+    """
+
+    def __init__(self, waveform: np.ndarray, dtype=float):
+        self.waveform = np.asarray(waveform, dtype=dtype)
+        self.dtype = self.waveform.dtype
+        self._ctx = get_context(precision_of(self.waveform.dtype))
         self.size = self.waveform.size
         self._fft: Dict[int, np.ndarray] = {}
 
     def fft(self, nf: int) -> np.ndarray:
         spec = self._fft.get(nf)
         if spec is None:
-            spec = rfft(self.waveform, nf)
+            spec = self._ctx.rfft(self.waveform, nf)
             self._fft[nf] = spec
         return spec
 
@@ -196,8 +205,15 @@ def apply_channel_batch(
     convolution (zero padding cannot alias it), but rounding may differ
     from the per-row transforms, so this flag is reserved for the
     non-parity backend.
+
+    The working precision follows the cached waveform's dtype: a
+    float32 waveform stacks float32 rows through complex64 transforms
+    into float32 bodies.  FIR scatters stay float64 at the source
+    (``np.add.at`` casts into the slab row), which loses nothing — the
+    slab row is the narrow operand either way.
     """
     cached = wave if isinstance(wave, CachedWaveform) else CachedWaveform(wave)
+    ctx = cached._ctx
     fulls = [cached.size + int(n) - 1 for n in fir_lengths]
     out: List[np.ndarray] = [None] * len(fir_rows)  # type: ignore[list-item]
     fft_kwargs = {} if workers is None else {"workers": workers}
@@ -215,7 +231,8 @@ def apply_channel_batch(
         if cached.size == 1 or int(fir_lengths[idx]) == 1:
             # fftconvolve drops length-1 axes and multiplies directly.
             n_out = int(output_lengths[idx])
-            body = (cached.waveform * _materialise(idx))[:n_out]
+            fir = _materialise(idx).astype(cached.dtype, copy=False)
+            body = (cached.waveform * fir)[:n_out]
             if body.size < n_out:
                 body = np.pad(body, (0, n_out - body.size))
             out[idx] = body
@@ -227,7 +244,7 @@ def apply_channel_batch(
         for idx in fft_rows:
             groups.setdefault(next_fast_len(fulls[idx], True), []).append(idx)
     for nf, rows in groups.items():
-        stacked = np.zeros((len(rows), nf))
+        stacked = np.zeros((len(rows), nf), dtype=cached.dtype)
         for k, idx in enumerate(rows):
             n_fir = int(fir_lengths[idx])
             row = fir_rows[idx]
@@ -237,12 +254,12 @@ def apply_channel_batch(
                 render_taps_positions(row[0], row[1], n_fir, out=stacked[k])
             else:
                 stacked[k, :n_fir] = row[:n_fir]
-        spec = rfft(stacked, nf, axis=-1, **fft_kwargs)
+        spec = ctx.rfft(stacked, nf, axis=-1, **fft_kwargs)
         # fftconvolve computes fft(wave) * fft(fir) in that operand
         # order; complex multiplication is *not* bitwise-commutative
         # under FMA, so preserve it (out= aliasing x2 is fine).
         np.multiply(cached.fft(nf), spec, out=spec)
-        conv = irfft(spec, nf, axis=-1, **fft_kwargs)
+        conv = ctx.irfft(spec, nf, axis=-1, **fft_kwargs)
         for k, idx in enumerate(rows):
             n_out = int(output_lengths[idx])
             body = conv[k, : fulls[idx]][:n_out]

@@ -47,15 +47,26 @@ from typing import (
 
 import numpy as np
 
+from repro.signals.xp import PRECISIONS
+
 #: Default campaign seed (the paper's publication year, as in the seed repo).
 DEFAULT_BASE_SEED = 2023
 
-#: The waveform-backend registry every engine plugs into.  ``legacy``
-#: is the per-exchange reference, ``batch`` the bit-identical batched
+#: The waveform-backend registry every engine plugs into, mapping each
+#: backend to the working precisions it supports.  ``legacy`` is the
+#: per-exchange reference, ``batch`` the bit-identical batched
 #: pipeline, ``fast`` the non-parity engine validated statistically
-#: (tests/test_fast_equivalence.py).  Experiments declare which of
-#: these they support via ``ExperimentSpec.backends``.
-WAVEFORM_BACKENDS: Tuple[str, ...] = ("legacy", "batch", "fast")
+#: (tests/test_fast_equivalence.py).  Only ``fast`` supports the
+#: float32 tier: the bit-parity backends *are* the float64 reference,
+#: so ``(backend, precision)`` is validated as a pair by
+#: :func:`check_backend`.  Experiments declare which backends they
+#: support via ``ExperimentSpec.backends``; iteration order (and hence
+#: ``tuple(WAVEFORM_BACKENDS)``) is unchanged from the historic tuple.
+WAVEFORM_BACKENDS: Dict[str, Tuple[str, ...]] = {
+    "legacy": ("float64",),
+    "batch": ("float64",),
+    "fast": PRECISIONS,
+}
 
 #: Canonical experiment order: defines both registry import order and the
 #: ``SeedSequence.spawn`` fan-out, so it must only ever be appended to.
@@ -298,18 +309,34 @@ def scaled(count: int, scale: float, minimum: int = 1) -> int:
     return max(minimum, int(round(count * scale)))
 
 
-def check_backend(backend: str, spec: Optional[str] = None) -> str:
-    """Validate a waveform-backend name (shared by the figure entries).
+def check_backend(
+    backend: str, spec: Optional[str] = None, precision: Optional[str] = None
+) -> str:
+    """Validate a waveform ``(backend, precision)`` pair.
 
     With ``spec`` (an experiment name), additionally checks the
     experiment's declared capability flags, so e.g. ``fast`` on an
     experiment without a fast path fails loudly instead of silently
-    running another engine.
+    running another engine.  ``precision`` (when given) must be a
+    registered precision *and* one the backend supports: the bit-parity
+    backends are float64-only, so e.g. ``("batch", "float32")`` is
+    rejected up front, exactly like an unknown backend name.
     """
     if backend not in WAVEFORM_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r} (choose from {', '.join(WAVEFORM_BACKENDS)})"
         )
+    if precision is not None:
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r} "
+                f"(choose from {', '.join(PRECISIONS)})"
+            )
+        if precision not in WAVEFORM_BACKENDS[backend]:
+            raise ValueError(
+                f"backend {backend!r} does not support precision {precision!r} "
+                f"(supported: {', '.join(WAVEFORM_BACKENDS[backend])})"
+            )
     if spec is not None:
         supported = get_spec(spec).backends
         if backend not in supported:
@@ -415,14 +442,15 @@ def _plan_jobs(
     sweep: Optional[Mapping[str, Sequence[Any]]],
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]]:
     """(experiment, variant, params, chunk) jobs in deterministic order.
 
     With ``trial_chunks > 1``, chunkable experiments expand into one
     job per chunk (merged back after execution), so a process pool
     parallelises *trials*, not just whole experiments.  A campaign
-    ``backend`` is injected into every job's params (sweep-provided
-    backend values win within their variants).
+    ``backend`` (and ``precision``) is injected into every job's
+    params (sweep-provided values win within their variants).
     """
     jobs: List[Tuple[str, str, Dict[str, Any], Optional[Tuple[int, int]]]] = []
     for name in names:
@@ -435,6 +463,8 @@ def _plan_jobs(
             params = dict(variant.params)
             if backend is not None:
                 params.setdefault("backend", backend)
+            if precision is not None:
+                params.setdefault("precision", precision)
             if trial_chunks > 1 and spec.chunkable:
                 for index in range(trial_chunks):
                     jobs.append((name, variant.name, params, (index, trial_chunks)))
@@ -679,19 +709,21 @@ def plan_units(
     names: Sequence[str],
     sweep: Optional[Mapping[str, Sequence[Any]]] = None,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[Tuple[str, str, Dict[str, Any]]]:
     """The (experiment, variant, params) units a selection expands to.
 
     This is the campaign plan at *unit* granularity — the addressing
     scheme of the result cache (:mod:`repro.service.cachekey`): sweeps
     expand to named variants here, so two campaigns that share a sweep
-    point share a cache entry.  ``backend`` is validated but *not*
-    folded into params; the cache key carries it as its own field.
+    point share a cache entry.  ``backend`` and ``precision`` are
+    validated as a pair but *not* folded into params; the cache key
+    carries each as its own field.
     """
     load_registry()
     if backend is not None:
         for name in names:
-            check_backend(backend, name)
+            check_backend(backend, name, precision=precision)
     return [
         (name, variant, params)
         for name, variant, params, _ in _plan_jobs(names, sweep, 1, None)
@@ -706,6 +738,7 @@ def run_unit(
     base_seed: int = DEFAULT_BASE_SEED,
     scale: float = 1.0,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
     trial_chunks: int = 1,
     workers: int = 1,
     pipeline: Optional[int] = None,
@@ -714,7 +747,7 @@ def run_unit(
 
     A unit is the quantum the serving tier memoizes: its result is a
     pure function of ``(name, variant, params, base_seed, scale,
-    backend, trial_chunks)`` — exactly the fields
+    backend, precision, trial_chunks)`` — exactly the fields
     :func:`repro.service.cachekey.cache_key` hashes.  ``workers`` and
     ``pipeline`` are execution knobs (chunk parallelism / flush depth)
     that never change the bytes.  Declared-variant params are folded in
@@ -735,8 +768,15 @@ def run_unit(
         merged.update(declared[variant])
     merged.update(dict(params or {}))
     if backend is not None:
-        check_backend(backend, name)
+        check_backend(backend, name, precision=precision)
         merged.setdefault("backend", backend)
+        if precision is not None:
+            merged.setdefault("precision", precision)
+    elif precision is not None:
+        raise ValueError(
+            f"precision {precision!r} requires an explicit backend "
+            f"(the waveform entries default per-experiment)"
+        )
     _UNIT_CALLS += 1
     if trial_chunks > 1 and spec.chunkable:
         jobs = [(name, variant, merged, (i, trial_chunks)) for i in range(trial_chunks)]
@@ -770,6 +810,7 @@ def run_campaign(
     sweep: Optional[Mapping[str, Sequence[Any]]] = None,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
     pipeline: Optional[int] = None,
     progress: Optional[Callable[[ExperimentResult], None]] = None,
 ) -> List[ExperimentResult]:
@@ -791,9 +832,11 @@ def run_campaign(
     outlives the campaign; call :func:`shutdown_pool` to retire it.
     ``backend`` selects the waveform backend for the whole campaign;
     every selected experiment must declare it in its capability flags.
-    ``pipeline`` sets the Phase-A/Phase-B flush-pipeline depth for
-    waveform experiments (``None`` = the ``REPRO_PIPELINE_DEPTH``
-    default); artifacts are bit-identical at every depth.
+    ``precision`` selects the working precision (validated against the
+    backend: only ``fast`` supports ``"float32"``).  ``pipeline`` sets
+    the Phase-A/Phase-B flush-pipeline depth for waveform experiments
+    (``None`` = the ``REPRO_PIPELINE_DEPTH`` default); artifacts are
+    bit-identical at every depth.
     """
     load_registry()
     selected = list(names) if names else [n for n in CANONICAL_ORDER if n in _REGISTRY]
@@ -804,8 +847,13 @@ def run_campaign(
         raise ValueError("trial_chunks must be >= 1")
     if backend is not None:
         for name in selected:
-            check_backend(backend, name)
-    jobs = _plan_jobs(selected, sweep, trial_chunks, backend)
+            check_backend(backend, name, precision=precision)
+    elif precision is not None:
+        raise ValueError(
+            f"precision {precision!r} requires an explicit backend "
+            f"(the waveform entries default per-experiment)"
+        )
+    jobs = _plan_jobs(selected, sweep, trial_chunks, backend, precision)
 
     def _collect(raw_results: Iterable[ExperimentResult]) -> List[ExperimentResult]:
         merged: List[ExperimentResult] = []
@@ -889,6 +937,7 @@ def unit_to_dict(
     scale: float = 1.0,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The machine-readable artifact for one cacheable unit.
 
@@ -905,6 +954,7 @@ def unit_to_dict(
             "scale": float(scale),
             "trial_chunks": int(trial_chunks),
             "backend": backend,
+            "precision": precision,
         },
         "result": result.to_dict(),
     }
@@ -943,6 +993,7 @@ def campaign_to_dict(
     include_timing: bool = False,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The machine-readable campaign artifact.
 
@@ -951,7 +1002,8 @@ def campaign_to_dict(
     ``provenance`` block pins everything the numbers depend on beyond
     the base seed: the trial-chunk count (a chunked run is a different,
     equally valid seeding scheme than the unchunked run of the same
-    experiment) and the campaign-level waveform backend.
+    experiment) and the campaign-level waveform backend and working
+    precision.
     """
     return {
         "schema": "repro-campaign/2",
@@ -959,6 +1011,7 @@ def campaign_to_dict(
         "provenance": {
             "trial_chunks": int(trial_chunks),
             "backend": backend,
+            "precision": precision,
         },
         "experiments": [r.to_dict(include_timing) for r in results],
     }
@@ -971,6 +1024,7 @@ def campaign_to_json(
     include_timing: bool = False,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> str:
     return json.dumps(
         campaign_to_dict(
@@ -979,6 +1033,7 @@ def campaign_to_json(
             include_timing=include_timing,
             trial_chunks=trial_chunks,
             backend=backend,
+            precision=precision,
         ),
         indent=2,
         sort_keys=True,
@@ -993,6 +1048,7 @@ def write_campaign_json(
     include_timing: bool = False,
     trial_chunks: int = 1,
     backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(
@@ -1002,6 +1058,7 @@ def write_campaign_json(
                 include_timing=include_timing,
                 trial_chunks=trial_chunks,
                 backend=backend,
+                precision=precision,
             )
         )
         fh.write("\n")

@@ -31,8 +31,10 @@ from repro.ranging.batch import (
 )
 from repro.ranging.detector import detect_preamble
 from repro.ranging.estimator import estimate_direct_path, single_mic_direct_path
+from repro.signals.batchcorr import CachedTemplate
 from repro.signals.channel_est import channel_impulse_response, ls_channel_estimate
 from repro.signals.preamble import make_preamble
+from repro.signals.xp import get_context
 from repro.simulate.batch_exchange import BatchExchangeRenderer, BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig, one_way_range, simulate_reception
 
@@ -64,15 +66,18 @@ def run_ranging_sweep(
     depth_m: float = 2.5,
     backend: str = "batch",
     pipeline: Optional[int] = None,
+    precision: str = "float64",
 ) -> List[RangingSweepResult]:
     """Fig. 11a: ranging error distribution per separation."""
-    engine.check_backend(backend, "fig11")
+    engine.check_backend(backend, "fig11", precision=precision)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for distance in distances_m:
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -153,11 +158,12 @@ def _ablation_errors_legacy(
 
 
 def _ablation_errors_batch(
-    rng, preamble, config, distance, num_exchanges, depth_m, fs, fast=False
+    rng, preamble, config, distance, num_exchanges, depth_m, fs, fast=False,
+    precision="float64",
 ) -> Dict[str, List[float]]:
     from repro.constants import MIC_SEPARATION_M
 
-    renderer = BatchExchangeRenderer(preamble, fast=fast)
+    renderer = BatchExchangeRenderer(preamble, fast=fast, precision=precision)
     for _ in range(num_exchanges):
         tx = np.array([0.0, 0.0, depth_m + rng.uniform(-0.2, 0.2)])
         rx = np.array(
@@ -166,10 +172,14 @@ def _ablation_errors_batch(
         renderer.add(tx, rx, config, rng)
     receptions = renderer.render()
     sound_speed = DOCK.sound_speed(depth_m)
+    template = CachedTemplate(
+        preamble.waveform, dtype=get_context(precision).real_dtype
+    )
     detections = detect_preamble_batch(
         [r.mic1 for r in receptions],
         preamble,
         [config.detection] * len(receptions),
+        template=template,
         fast=fast,
     )
     hit = [i for i, d in enumerate(detections) if d is not None]
@@ -222,13 +232,14 @@ def run_mic_ablation(
     num_exchanges: int = 40,
     depth_m: float = 2.5,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[MicAblationResult]:
     """Fig. 11b: dual-mic estimator vs each single mic in isolation.
 
     Runs the same received streams through the joint estimator and the
     single-channel earliest-peak estimator, so the comparison is paired.
     """
-    engine.check_backend(backend, "fig11")
+    engine.check_backend(backend, "fig11", precision=precision)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     fs = preamble.config.ofdm.sample_rate
@@ -248,6 +259,7 @@ def run_mic_ablation(
                 depth_m,
                 fs,
                 fast=backend == "fast",
+                precision=precision,
             )
         out.append(
             MicAblationResult(
@@ -370,6 +382,7 @@ def campaign(
     num_exchanges: int = 40,
     ablation_exchanges: int = 25,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
@@ -382,9 +395,15 @@ def campaign(
     n_sweep = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
     n_ablation = engine.chunk_share(engine.scaled(ablation_exchanges, scale), chunk)
     sweep = run_ranging_sweep(
-        rng, num_exchanges=n_sweep, backend=backend, pipeline=pipeline
+        rng,
+        num_exchanges=n_sweep,
+        backend=backend,
+        pipeline=pipeline,
+        precision=precision,
     )
-    ablation = run_mic_ablation(rng, num_exchanges=n_ablation, backend=backend)
+    ablation = run_mic_ablation(
+        rng, num_exchanges=n_ablation, backend=backend, precision=precision
+    )
     raw = {
         "sweep": [
             (r.distance_m, np.asarray(r.errors_m, dtype=float)) for r in sweep

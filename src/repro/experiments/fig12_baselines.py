@@ -42,6 +42,7 @@ from repro.signals.batchcorr import (
 from repro.signals.chirp import linear_chirp
 from repro.signals.fmcw import FmcwConfig
 from repro.signals.preamble import make_preamble
+from repro.signals.xp import get_context
 from repro.simulate.batch_exchange import (
     BatchExchangeRenderer,
     BatchOneWay,
@@ -73,9 +74,10 @@ def _detection_counts(
     num_trials: int,
     distance_m: float,
     backend: str,
+    precision: str = "float64",
 ) -> Dict[str, object]:
     """Raw FP/FN counts for both detectors (chunk-mergeable)."""
-    engine.check_backend(backend, "fig12")
+    engine.check_backend(backend, "fig12", precision=precision)
     fast = backend == "fast"
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
@@ -85,7 +87,7 @@ def _detection_counts(
     # Pre-render signal-present and noise-only streams (shared across
     # thresholds so the comparison is paired).
     if backend != "legacy":
-        renderer = BatchExchangeRenderer(preamble, fast=fast)
+        renderer = BatchExchangeRenderer(preamble, fast=fast, precision=precision)
         for _ in range(num_trials):
             tx = np.array([0.0, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
             rx = np.array([distance_m, 0.0, 1.0 + rng.uniform(-0.2, 0.2)])
@@ -110,9 +112,13 @@ def _detection_counts(
             noise_rng,
             fs,
             workers=fft_workers(),
+            precision=precision,
         )
         absent = [
-            rows[i] + spiky_noise(length, BOATHOUSE.noise, noise_rng, fs)
+            rows[i]
+            + spiky_noise(length, BOATHOUSE.noise, noise_rng, fs).astype(
+                rows.dtype, copy=False
+            )
             for i in range(num_trials)
         ]
     else:
@@ -127,6 +133,9 @@ def _detection_counts(
             [stream for stream, _ in present] + absent,
             preamble,
             [DetectionConfig()] * (n_present + len(absent)),
+            template=CachedTemplate(
+                preamble.waveform, dtype=get_context(precision).real_dtype
+            ),
             fast=fast,
         )
         ours_fn = sum(
@@ -208,6 +217,7 @@ def run_detection_comparison(
     num_trials: int = 40,
     distance_m: float = 20.0,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[DetectionRates]:
     """Fig. 12a: detection FP/FN, ours vs window-power threshold.
 
@@ -216,7 +226,9 @@ def run_detection_comparison(
     threshold; its row repeats (constant) across the sweep.
     """
     return _rates_from_counts(
-        _detection_counts(rng, thresholds_db, num_trials, distance_m, backend)
+        _detection_counts(
+            rng, thresholds_db, num_trials, distance_m, backend, precision
+        )
     )
 
 
@@ -236,9 +248,10 @@ def _baseline_errors(
     depth_m: float,
     backend: str,
     pipeline: Optional[int] = None,
+    precision: str = "float64",
 ) -> Dict[str, List[Tuple[float, np.ndarray]]]:
     """Raw per-algorithm, per-distance errors (chunk-mergeable)."""
-    engine.check_backend(backend, "fig12")
+    engine.check_backend(backend, "fig12", precision=precision)
     preamble = make_preamble()
     fs = preamble.config.ofdm.sample_rate
     duration_s = len(preamble) / fs
@@ -259,12 +272,15 @@ def _baseline_errors(
     tail = fmcw_cfg.num_samples
     margin = 2_048
     fast = backend == "fast"
-    chirp_wave = CachedWaveform(chirp) if fast else None
-    chirp_template = CachedTemplate(chirp) if fast else None
+    real_dtype = get_context(precision).real_dtype
+    chirp_wave = CachedWaveform(chirp, dtype=real_dtype) if fast else None
+    chirp_template = CachedTemplate(chirp, dtype=real_dtype) if fast else None
 
     for distance in distances_m:
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -341,6 +357,7 @@ def _baseline_errors(
                 guard,
                 tail,
                 margin,
+                precision=precision,
             )
             for true_d, arrival, cat_est in zip(trial_true, beep, cat):
                 errors["beepbeep"][distance].append(
@@ -373,6 +390,7 @@ def _fast_baseline_trials(
     guard: int,
     tail: int,
     margin: int,
+    precision: str = "float64",
 ) -> Tuple[List[Optional[int]], List[Optional[float]]]:
     """Batched BeepBeep/CAT evaluation of one distance's trials.
 
@@ -418,6 +436,7 @@ def _fast_baseline_trials(
         noise_rng,
         fs,
         workers=workers,
+        precision=precision,
     )
     beep_streams = []
     cat_streams = []
@@ -457,13 +476,16 @@ def run_baseline_ranging(
     num_exchanges: int = 30,
     depth_m: float = 1.0,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[BaselineRangingResult]:
     """Fig. 12b: 1D ranging error, ours vs BeepBeep vs CAT.
 
     All three signals share duration and bandwidth (the paper's "fair
     comparison" control).
     """
-    raw = _baseline_errors(rng, distances_m, num_exchanges, depth_m, backend)
+    raw = _baseline_errors(
+        rng, distances_m, num_exchanges, depth_m, backend, precision=precision
+    )
     out = []
     for name, by_distance in raw.items():
         for distance, errs in by_distance:
@@ -587,6 +609,7 @@ def campaign(
     num_trials: int = 40,
     num_exchanges: int = 25,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
@@ -597,6 +620,7 @@ def campaign(
         engine.chunk_share(engine.scaled(num_trials, scale), chunk),
         20.0,
         backend,
+        precision,
     )
     ranging = _baseline_errors(
         rng,
@@ -605,6 +629,7 @@ def campaign(
         1.0,
         backend,
         pipeline,
+        precision=precision,
     )
     raw = {"detection": detection, "ranging": ranging}
     if chunk is not None:

@@ -48,15 +48,18 @@ def run_depth_sweep(
     separation_m: float = 18.0,
     backend: str = "batch",
     pipeline: Optional[int] = None,
+    precision: str = "float64",
 ) -> List[DepthRangingResult]:
     """Fig. 13a: ranging error vs depth at 18 m separation."""
-    engine.check_backend(backend, "fig13")
+    engine.check_backend(backend, "fig13", precision=precision)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     results = []
     for depth in depths_m:
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -237,6 +240,7 @@ def campaign(
     num_exchanges: int = 30,
     readings_per_depth: int = 30,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
@@ -246,6 +250,7 @@ def campaign(
         num_exchanges=engine.chunk_share(engine.scaled(num_exchanges, scale), chunk),
         backend=backend,
         pipeline=pipeline,
+        precision=precision,
     )
     sensors = run_depth_sensor_accuracy(
         rng,

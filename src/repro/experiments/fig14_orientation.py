@@ -52,11 +52,13 @@ def run_orientation_sweep(
     distance_m: float = 20.0,
     depth_m: float = 2.5,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[OrientationResult]:
     """Fig. 14a: error vs sender orientation at 20 m."""
     results = []
     for label, errors in _orientation_errors(
-        rng, cases, num_exchanges, distance_m, depth_m, backend
+        rng, cases, num_exchanges, distance_m, depth_m, backend,
+        precision=precision,
     ):
         case = next(c for c in cases if c[0] == label)
         results.append(
@@ -78,8 +80,9 @@ def _orientation_errors(
     depth_m: float,
     backend: str,
     pipeline: Optional[int] = None,
+    precision: str = "float64",
 ) -> List[Tuple[str, np.ndarray]]:
-    engine.check_backend(backend, "fig14")
+    engine.check_backend(backend, "fig14", precision=precision)
     preamble = make_preamble()
     out = []
     for label, az_deg, pol_deg in cases:
@@ -92,7 +95,9 @@ def _orientation_errors(
             tx_polar_rad=np.deg2rad(pol_deg),
         )
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -131,12 +136,14 @@ def run_model_pairs(
     distance_m: float = 20.0,
     depth_m: float = 2.5,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[ModelPairResult]:
     """Fig. 14b: error across smartphone model pairs."""
     return [
         ModelPairResult(pair=name, summary=summarize_errors(errors))
         for name, errors in _model_pair_errors(
-            rng, num_exchanges, distance_m, depth_m, backend
+            rng, num_exchanges, distance_m, depth_m, backend,
+            precision=precision,
         )
     ]
 
@@ -148,8 +155,9 @@ def _model_pair_errors(
     depth_m: float,
     backend: str,
     pipeline: Optional[int] = None,
+    precision: str = "float64",
 ) -> List[Tuple[str, np.ndarray]]:
-    engine.check_backend(backend, "fig14")
+    engine.check_backend(backend, "fig14", precision=precision)
     preamble = make_preamble()
     out = []
     for name, tx_model, rx_model in MODEL_PAIRS:
@@ -157,7 +165,9 @@ def _model_pair_errors(
             environment=DOCK, tx_model=tx_model, rx_model=rx_model
         )
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -247,6 +257,7 @@ def campaign(
     scale: float = 1.0,
     num_exchanges: int = 25,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
@@ -254,9 +265,12 @@ def campaign(
     n = engine.chunk_share(engine.scaled(num_exchanges, scale), chunk)
     raw = {
         "orientation": _orientation_errors(
-            rng, ORIENTATION_CASES, n, 20.0, 2.5, backend, pipeline
+            rng, ORIENTATION_CASES, n, 20.0, 2.5, backend, pipeline,
+            precision=precision,
         ),
-        "pairs": _model_pair_errors(rng, n, 20.0, 2.5, backend, pipeline),
+        "pairs": _model_pair_errors(
+            rng, n, 20.0, 2.5, backend, pipeline, precision=precision
+        ),
     }
     if chunk is not None:
         return engine.ExperimentOutput(measured={}, report="", raw=raw)

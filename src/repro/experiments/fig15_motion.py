@@ -47,13 +47,14 @@ def run_motion_tracking(
     backend: str = "batch",
     pipeline: Optional[int] = None,
     time_slice: Optional[Tuple[int, int]] = None,
+    precision: str = "float64",
 ) -> List[MotionRangingResult]:
     """Range once per second while the device sweeps back and forth.
 
     ``time_slice=(offset, count)`` restricts each trajectory to a
     contiguous run of time steps (used by campaign trial chunking).
     """
-    engine.check_backend(backend, "fig15")
+    engine.check_backend(backend, "fig15", precision=precision)
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     static = np.array([0.0, 0.0, depth_m])
@@ -70,7 +71,9 @@ def run_motion_tracking(
             offset, count = time_slice
             times = times[offset : offset + count]
         sim = (
-            BatchOneWay(preamble, backend=backend, pipeline=pipeline)
+            BatchOneWay(
+                preamble, backend=backend, pipeline=pipeline, precision=precision
+            )
             if backend != "legacy"
             else None
         )
@@ -169,6 +172,7 @@ def campaign(
     scale: float = 1.0,
     duration_s: float = 60.0,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
     chunk: Optional[Tuple[int, int]] = None,
 ):
@@ -187,6 +191,7 @@ def campaign(
         backend=backend,
         pipeline=pipeline,
         time_slice=time_slice,
+        precision=precision,
     )
     raw = {
         "tracks": [

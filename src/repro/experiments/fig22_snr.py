@@ -26,6 +26,7 @@ from repro.channel.render import (
 from repro.experiments import engine
 from repro.signals.batchcorr import fft_workers
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
+from repro.signals.xp import get_context
 
 #: Paper: rough SNR ranges (dB) visible in Fig. 22 per distance.
 PAPER_SNR_RANGE_DB = {10: (15, 40), 20: (5, 30), 28: (0, 25)}
@@ -50,6 +51,7 @@ def run_snr_measurement(
     num_symbols: int = 8,
     depth_m: float = 1.0,
     backend: str = "batch",
+    precision: str = "float64",
 ) -> List[SnrProfile]:
     """Estimate per-subcarrier SNR from repeated OFDM symbols.
 
@@ -59,11 +61,12 @@ def run_snr_measurement(
     one padded transform length and threads the stacked FFTs; the noise
     draws stay on the main stream (this figure's noise cost is trivial).
     """
-    engine.check_backend(backend, "fig22")
+    engine.check_backend(backend, "fig22", precision=precision)
+    ctx = get_context(precision)
     ofdm = OfdmConfig()
     bins = band_bins(ofdm)
     base = ofdm_symbol_from_zc(ofdm, add_cp=False)
-    base_bins_fft = np.fft.fft(base)[bins]
+    base_bins_fft = np.fft.fft(base)[bins].astype(ctx.complex_dtype, copy=False)
     fs = ofdm.sample_rate
     sound_speed = BOATHOUSE.sound_speed(depth_m)
     # Continuous transmission of identical symbols; segment at symbol
@@ -91,7 +94,7 @@ def run_snr_measurement(
             first_arrivals.append(int(delays[0] * fs))
         fast = backend == "fast"
         bodies = apply_channel_batch(
-            CachedWaveform(wave),
+            CachedWaveform(wave, dtype=ctx.real_dtype),
             [(delays * fs, amps) for delays, amps, _ in specs],
             # One FIR-sizing contract for every backend (parity epoch 2);
             # matches apply_channel's sizing in the legacy branch below.
@@ -101,8 +104,13 @@ def run_snr_measurement(
             workers=fft_workers() if fast else None,
         )
         for body in bodies:
+            # Noise draws stay on the main float64 stream (legacy draw
+            # order); only the carried samples follow the working dtype.
             received_by_distance.append(
-                body + make_noise(body.size, BOATHOUSE.noise, rng, fs)
+                body
+                + make_noise(body.size, BOATHOUSE.noise, rng, fs).astype(
+                    body.dtype, copy=False
+                )
             )
     else:
         for distance in distances_m:
@@ -133,7 +141,7 @@ def run_snr_measurement(
             symbol = received[start : start + ofdm.n_fft]
             if symbol.size < ofdm.n_fft:
                 break
-            estimates.append(np.fft.fft(symbol)[bins] / base_bins_fft)
+            estimates.append(ctx.fft(symbol)[bins] / base_bins_fft)
         h = np.vstack(estimates)
         signal_power = np.abs(h.mean(axis=0)) ** 2
         noise_power = h.var(axis=0) + 1e-15
@@ -175,6 +183,7 @@ def campaign(
     scale: float = 1.0,
     num_symbols: int = 8,
     backend: str = "batch",
+    precision: str = "float64",
     pipeline: Optional[int] = None,
 ):
     """SNR profiles at 10/20/28 m (scale bounds the symbol count).
@@ -186,7 +195,10 @@ def campaign(
     """
     del pipeline
     profiles = run_snr_measurement(
-        rng, num_symbols=engine.scaled(num_symbols, scale, minimum=2), backend=backend
+        rng,
+        num_symbols=engine.scaled(num_symbols, scale, minimum=2),
+        backend=backend,
+        precision=precision,
     )
     measured = {
         "median_snr_db": {int(p.distance_m): p.median_snr_db for p in profiles},

@@ -115,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--precision",
+        metavar="NAME",
+        help=(
+            "working precision for the waveform kernels (float64 | float32); "
+            "float32 requires --backend fast and is validated by the "
+            "statistical contract rather than bit-parity"
+        ),
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="KEY=V1,V2",
@@ -189,7 +198,7 @@ def _run_cached(args, selected, sweep, show) -> List[ExperimentResult]:
     store.ensure_writable()
     results: List[ExperimentResult] = []
     for name, variant, params in engine.plan_units(
-        selected, sweep=sweep, backend=args.backend
+        selected, sweep=sweep, backend=args.backend, precision=args.precision
     ):
         request = UnitRequest(
             experiment=name,
@@ -198,6 +207,7 @@ def _run_cached(args, selected, sweep, show) -> List[ExperimentResult]:
             base_seed=args.seed,
             scale=args.scale,
             backend=args.backend,
+            precision=args.precision,
             trial_chunks=args.trial_chunks,
         )
         _, body, hit = cached_unit(
@@ -226,10 +236,15 @@ def main(argv=None) -> int:
         print(f"available: {', '.join(experiments)}")
         return 2
 
-    if args.backend is not None:
+    if args.backend is not None or args.precision is not None:
         try:
+            if args.backend is None:
+                raise ValueError(
+                    f"--precision {args.precision} requires --backend "
+                    f"(the waveform experiments default per-experiment)"
+                )
             for name in selected:
-                engine.check_backend(args.backend, name)
+                engine.check_backend(args.backend, name, precision=args.precision)
         except ValueError as exc:
             print(exc)
             return 2
@@ -288,6 +303,7 @@ def main(argv=None) -> int:
                 sweep=sweep,
                 trial_chunks=args.trial_chunks,
                 backend=args.backend,
+                precision=args.precision,
                 pipeline=args.pipeline,
                 progress=show,
             )
@@ -310,6 +326,7 @@ def main(argv=None) -> int:
             include_timing=args.timing,
             trial_chunks=args.trial_chunks,
             backend=args.backend,
+            precision=args.precision,
         )
         print(f"\nwrote {len(results)} experiment result(s) to {args.json}")
 

@@ -36,6 +36,12 @@ from repro.signals.batchcorr import (
 from repro.signals.ofdm import band_bins
 from repro.signals.peaks import noise_floor
 from repro.signals.preamble import Preamble
+from repro.signals.xp import (
+    as_complex_array,
+    as_float_array,
+    get_context,
+    precision_of,
+)
 
 
 def detect_preamble_batch(
@@ -61,7 +67,7 @@ def detect_preamble_batch(
     if configs is None:
         configs = [None] * len(streams)
     tmpl = template or CachedTemplate(preamble.waveform)
-    streams = [np.asarray(s, dtype=float) for s in streams]
+    streams = [as_float_array(s) for s in streams]
     eligible = [i for i, s in enumerate(streams) if s.size >= len(preamble)]
     results: List[Optional[Detection]] = [None] * len(streams)
     if not eligible:
@@ -137,12 +143,14 @@ def ls_channel_estimate_batch(
     cfg = preamble.config
     n_fft = cfg.ofdm.n_fft
     bins = band_bins(cfg.ofdm)
+    streams = [as_float_array(s) for s in streams]
     rows = len(streams)
+    dtype = np.result_type(*[s.dtype for s in streams]) if streams else np.float64
+    ctx = get_context(precision_of(dtype))
     if rows == 0:
-        return np.zeros((0, bins.size), dtype=complex)
-    symbols = np.empty((rows, cfg.num_symbols, n_fft))
+        return np.zeros((0, bins.size), dtype=ctx.complex_dtype)
+    symbols = np.empty((rows, cfg.num_symbols, n_fft), dtype=dtype)
     for r, (stream, start) in enumerate(zip(streams, start_indices)):
-        stream = np.asarray(stream, dtype=float)
         for j, sym_start in enumerate(preamble.symbol_starts(int(start))):
             sym_start = int(sym_start)
             if sym_start < 0 or sym_start + n_fft > stream.size:
@@ -150,12 +158,13 @@ def ls_channel_estimate_batch(
                     "start_index leaves an incomplete OFDM symbol in stream"
                 )
             symbols[r, j] = stream[sym_start : sym_start + n_fft]
-    spectra = np.fft.fft(symbols, axis=-1)[..., bins]
+    spectra = ctx.fft(symbols, axis=-1)[..., bins]
+    base = np.asarray(preamble.base_bins).astype(ctx.complex_dtype, copy=False)
     # Accumulate per-symbol terms sequentially (legacy += order): numpy's
     # pairwise sum over the symbol axis would round differently.
-    accum = np.zeros((rows, bins.size), dtype=complex)
+    accum = np.zeros((rows, bins.size), dtype=ctx.complex_dtype)
     for j, sign in enumerate(cfg.pn_signs):
-        ref = preamble.base_bins if sign == 1 else -preamble.base_bins
+        ref = base if sign == 1 else -base
         accum += spectra[:, j, :] / ref
     return accum / cfg.num_symbols
 
@@ -165,13 +174,14 @@ def channel_impulse_response_batch(
 ) -> np.ndarray:
     """Stacked :func:`repro.signals.channel_est.channel_impulse_response`."""
     bins = band_bins(ofdm)
-    h = np.asarray(h_rows, dtype=complex)
+    h = as_complex_array(h_rows)
     if h.ndim != 2 or h.shape[1] != bins.size:
         raise ValueError(f"expected (rows, {bins.size}) in-band values")
-    spectrum = np.zeros((h.shape[0], ofdm.n_fft), dtype=complex)
+    ctx = get_context(precision_of(h.dtype))
+    spectrum = np.zeros((h.shape[0], ofdm.n_fft), dtype=h.dtype)
     spectrum[:, bins] = h
     spectrum[:, -bins] = np.conj(h)
-    cir = np.abs(np.fft.ifft(spectrum, axis=-1))
+    cir = np.abs(ctx.ifft(spectrum, axis=-1))
     if normalize:
         for r in range(cir.shape[0]):
             peak = cir[r].max()
@@ -196,8 +206,8 @@ def estimate_direct_path_fast(
 ) -> Optional[DirectPathEstimate]:
     """:func:`repro.ranging.estimator.estimate_direct_path` with
     vectorised peak scans (pure comparisons — identical results)."""
-    h1 = np.asarray(channel1, dtype=float)
-    h2 = np.asarray(channel2, dtype=float)
+    h1 = as_float_array(channel1)
+    h2 = as_float_array(channel2)
     peak1 = np.max(np.abs(h1))
     peak2 = np.max(np.abs(h2))
     if peak1 <= 0 or peak2 <= 0:
@@ -234,7 +244,7 @@ def single_mic_direct_path_fast(
     search_limit: Optional[int] = None,
 ) -> Optional[int]:
     """:func:`repro.ranging.estimator.single_mic_direct_path`, vectorised."""
-    h = np.asarray(channel, dtype=float)
+    h = as_float_array(channel)
     peak = np.max(np.abs(h))
     if peak <= 0:
         raise ValueError("channel has no energy")
@@ -261,15 +271,18 @@ class BatchArrivalEstimator:
         search_window: int = 512,
         wrap_margin: int = 96,
         fast: bool = False,
+        precision: str = "float64",
     ):
         from repro.constants import DIRECT_PATH_MARGIN
 
+        ctx = get_context(precision)
         self.preamble = preamble
-        self.template = CachedTemplate(preamble.waveform)
+        self.template = CachedTemplate(preamble.waveform, dtype=ctx.real_dtype)
         self.search_window = search_window
         self.wrap_margin = wrap_margin
         self.margin = DIRECT_PATH_MARGIN
         self.fast = bool(fast)
+        self.precision = ctx.precision
 
     def estimate_many(
         self,
@@ -354,11 +367,13 @@ def power_threshold_hits(
     """:func:`repro.ranging.detector.detect_power_threshold` for many
     thresholds at once — the power profile is computed a single time
     (the threshold only enters a comparison, so results are identical
-    per threshold)."""
-    x = np.asarray(stream, dtype=float)
+    per threshold).  The power profile follows the stream's working
+    dtype (float32 streams convolve at single width); the noise floor
+    and dB ratios are scalars/compares either way."""
+    x = as_float_array(stream)
     if x.size < noise_window + window:
         return [None] * len(thresholds_db)
-    power = np.convolve(x**2, np.ones(window) / window, mode="valid")
+    power = np.convolve(x**2, np.ones(window, dtype=x.dtype) / window, mode="valid")
     noise = float(np.mean(power[: noise_window - window + 1]))
     if noise <= 0:
         noise = 1e-12

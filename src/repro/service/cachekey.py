@@ -1,9 +1,9 @@
 """Content-addressable cache keys for campaign units.
 
 A unit result depends on exactly the provenance tuple ``(experiment,
-variant, params, base_seed, scale, backend, trial_chunks)`` plus the
-code that computes it.  :func:`cache_key` hashes a canonical JSON
-encoding of that tuple:
+variant, params, base_seed, scale, backend, precision, trial_chunks)``
+plus the code that computes it.  :func:`cache_key` hashes a canonical
+JSON encoding of that tuple:
 
 * **Canonical JSON** — keys sorted, compact separators, ASCII-only,
   ``allow_nan=False``; floats are normalised first (``-0.0`` becomes
@@ -114,6 +114,7 @@ class UnitRequest:
     base_seed: int = engine.DEFAULT_BASE_SEED
     scale: float = 1.0
     backend: Optional[str] = None
+    precision: Optional[str] = None
     trial_chunks: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
@@ -125,6 +126,7 @@ class UnitRequest:
             "base_seed": self.base_seed,
             "scale": self.scale,
             "backend": self.backend,
+            "precision": self.precision,
             "trial_chunks": self.trial_chunks,
         }
 
@@ -137,6 +139,7 @@ _REQUEST_FIELDS: Tuple[str, ...] = (
     "base_seed",
     "scale",
     "backend",
+    "precision",
     "trial_chunks",
 )
 
@@ -145,8 +148,9 @@ def normalize_request(body: Mapping[str, Any]) -> UnitRequest:
     """Validate a request mapping into a :class:`UnitRequest`.
 
     Raises ``ValueError`` with a client-presentable message on unknown
-    fields, unknown experiments, bad types, or a backend the
-    experiment does not declare.
+    fields, unknown experiments, bad types, a backend the experiment
+    does not declare, or a (backend, precision) pair the backend
+    registry rejects.
     """
     if not isinstance(body, Mapping):
         raise ValueError("request body must be a JSON object")
@@ -169,8 +173,13 @@ def normalize_request(body: Mapping[str, Any]) -> UnitRequest:
     if not isinstance(params, Mapping):
         raise ValueError("'params' must be a JSON object")
     backend = body.get("backend")
+    precision = body.get("precision")
+    if precision is not None and not isinstance(precision, str):
+        raise ValueError("'precision' must be a string")
     if backend is not None:
-        engine.check_backend(backend, experiment)
+        engine.check_backend(backend, experiment, precision=precision)
+    elif precision is not None:
+        raise ValueError(f"'precision' {precision!r} requires an explicit 'backend'")
     try:
         base_seed = int(body.get("base_seed", engine.DEFAULT_BASE_SEED))
         scale = float(body.get("scale", 1.0))
@@ -188,6 +197,7 @@ def normalize_request(body: Mapping[str, Any]) -> UnitRequest:
         base_seed=base_seed,
         scale=scale,
         backend=backend,
+        precision=precision,
         trial_chunks=trial_chunks,
     )
 

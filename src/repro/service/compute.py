@@ -58,6 +58,7 @@ def compute_unit(
         base_seed=request.base_seed,
         scale=request.scale,
         backend=request.backend,
+        precision=request.precision,
         trial_chunks=request.trial_chunks,
         workers=workers,
         pipeline=pipeline,
@@ -67,6 +68,7 @@ def compute_unit(
         scale=request.scale,
         trial_chunks=request.trial_chunks,
         backend=request.backend,
+        precision=request.precision,
     )
     return encode_body(unit), result.status == "ok"
 

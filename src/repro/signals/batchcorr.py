@@ -31,10 +31,12 @@ from __future__ import annotations
 import math
 import os
 import warnings
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy.fft import next_fast_len, rfft, irfft
+
+from repro.signals.xp import as_float_array, get_context, precision_of
 
 #: (variable, value) pairs already warned about, so a long campaign
 #: complains once per bad setting instead of once per chunk flush.
@@ -118,15 +120,23 @@ class CachedTemplate:
     the normalised cross-correlation) so a sweep of hundreds of streams
     pays each template transform once per distinct length instead of
     once per call.
+
+    ``dtype`` fixes the working precision at construction: a float32
+    template yields complex64 spectrum caches, so every correlation
+    against it stays single-precision end to end.  The template norm is
+    always accumulated in float64 (one scalar; cheap insurance against
+    cancellation) and only the stored spectra follow ``dtype``.
     """
 
-    def __init__(self, template: np.ndarray):
-        template = np.asarray(template, dtype=float)
+    def __init__(self, template: np.ndarray, dtype: Any = float):
+        template = np.asarray(template, dtype=dtype)
         if template.size == 0:
             raise ValueError("template must be non-empty")
         self.template = template
+        self.dtype = template.dtype
+        self._ctx = get_context(precision_of(template.dtype))
         self.size = template.size
-        self.norm = float(np.linalg.norm(template))
+        self.norm = float(np.linalg.norm(np.asarray(template, dtype=np.float64)))
         self._reversed = template[::-1].copy()
         self._rev_fft: Dict[int, np.ndarray] = {}
         self._window_fft: Dict[int, np.ndarray] = {}
@@ -134,20 +144,25 @@ class CachedTemplate:
     def reversed_fft(self, nf: int) -> np.ndarray:
         spec = self._rev_fft.get(nf)
         if spec is None:
-            spec = rfft(self._reversed, nf)
+            spec = self._ctx.rfft(self._reversed, nf)
             self._rev_fft[nf] = spec
         return spec
 
     def window_fft(self, nf: int) -> np.ndarray:
         spec = self._window_fft.get(nf)
         if spec is None:
-            spec = rfft(np.ones(self.size), nf)
+            spec = self._ctx.rfft(np.ones(self.size, dtype=self.dtype), nf)
             self._window_fft[nf] = spec
         return spec
 
 
-def _stack_padded(streams: Sequence[np.ndarray], rows: Sequence[int], nf: int) -> np.ndarray:
-    out = np.zeros((len(rows), nf))
+def _stack_padded(
+    streams: Sequence[np.ndarray],
+    rows: Sequence[int],
+    nf: int,
+    dtype: Any = np.float64,
+) -> np.ndarray:
+    out = np.zeros((len(rows), nf), dtype=dtype)
     for k, idx in enumerate(rows):
         s = streams[idx]
         out[k, : s.size] = s
@@ -259,9 +274,17 @@ def normalized_cross_correlation_fused(
       window sums are mathematically identical and differ only in
       rounding, which the fast backend's equivalence contract absorbs
       (tests/test_fast_equivalence.py).
+
+    The working precision follows the template's dtype (float32
+    templates correlate float32 streams into float32 outputs).  The
+    sliding-window energy is always *accumulated* in float64 — a long
+    float32 cumsum loses low-order bits to catastrophic cancellation in
+    the window difference — and the denominator is cast back to the
+    working dtype before the divide, so the output dtype still matches
+    the requested precision (DESIGN.md §11).
     """
     tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
-    streams = [np.asarray(s, dtype=float) for s in streams]
+    streams = [as_float_array(s) for s in streams]
     for s in streams:
         if s.size == 0:
             raise ValueError("stream and template must be non-empty")
@@ -269,6 +292,7 @@ def normalized_cross_correlation_fused(
         raise ValueError("template has zero energy")
     if not streams:
         return []
+    ctx = tmpl._ctx
     out: List[Optional[np.ndarray]] = [None] * len(streams)
     start = tmpl.size - 1
     w = fft_workers() if workers is None else workers
@@ -276,8 +300,11 @@ def normalized_cross_correlation_fused(
     fft_rows = []
     for idx, s in enumerate(streams):
         if tmpl.size == 1 or s.size == 1:
+            s = np.asarray(s, dtype=tmpl.dtype)
             corr = (s * tmpl._reversed)[start : start + s.size]
-            energy = ((s * s) * np.ones(tmpl.size))[start : start + s.size]
+            energy = ((s * s) * np.ones(tmpl.size, dtype=tmpl.dtype))[
+                start : start + s.size
+            ]
             denom = np.sqrt(np.maximum(energy, 0.0))
             np.maximum(denom, 1e-12, out=denom)
             denom *= tmpl.norm
@@ -288,12 +315,12 @@ def normalized_cross_correlation_fused(
         return out  # type: ignore[return-value]
 
     nf = shared_fast_len([streams[i].size + tmpl.size - 1 for i in fft_rows])
-    stacked = _stack_padded(streams, fft_rows, nf)
-    spec = rfft(stacked, nf, axis=-1, workers=w)
+    stacked = _stack_padded(streams, fft_rows, nf, dtype=tmpl.dtype)
+    spec = ctx.rfft(stacked, nf, axis=-1, workers=w)
     spec *= tmpl.reversed_fft(nf)
-    corr = irfft(spec, nf, axis=-1, workers=w)
+    corr = ctx.irfft(spec, nf, axis=-1, workers=w)
     np.square(stacked, out=stacked)
-    cum = np.cumsum(stacked, axis=-1)
+    cum = np.cumsum(stacked, axis=-1, dtype=np.float64)
     for k, idx in enumerate(fft_rows):
         n = streams[idx].size
         # Windowed energy of the L samples ending at full-conv index
@@ -304,6 +331,7 @@ def normalized_cross_correlation_fused(
         denom = np.sqrt(np.maximum(energy, 0.0))
         np.maximum(denom, 1e-12, out=denom)
         denom *= tmpl.norm
+        denom = denom.astype(corr.dtype, copy=False)
         np.divide(corr[k, start : start + n], denom, out=denom)
         out[idx] = np.clip(denom, -1.0, 1.0, out=denom)
     return out  # type: ignore[return-value]
@@ -332,8 +360,12 @@ def peak_mask(values: np.ndarray) -> np.ndarray:
 
 
 def local_peak_indices_fast(values: np.ndarray, min_height: float = 0.0) -> np.ndarray:
-    """Vectorised :func:`repro.signals.peaks.local_peak_indices`."""
-    values = np.asarray(values, dtype=float)
+    """Vectorised :func:`repro.signals.peaks.local_peak_indices`.
+
+    Pure comparisons, so float32 inputs are scanned in place instead of
+    being promoted to a float64 copy.
+    """
+    values = as_float_array(values)
     if values.size == 0:
         return np.array([], dtype=int)
     return np.nonzero((values > min_height) & peak_mask(values))[0]
@@ -343,7 +375,7 @@ def local_peak_indices_batch(
     values: np.ndarray, min_height: float = 0.0
 ) -> List[np.ndarray]:
     """Row-wise peak indices of a ``(batch, n)`` array."""
-    values = np.asarray(values, dtype=float)
+    values = as_float_array(values)
     if values.ndim != 2:
         raise ValueError("expected a 2-D (batch, n) array")
     return [local_peak_indices_fast(row, min_height) for row in values]
@@ -484,7 +516,7 @@ def _gemm_gate_scores(W: np.ndarray, signs: Sequence[int]) -> np.ndarray:
     safe = np.where(norms > 1e-12, norms, 1.0)
     U = W / safe[:, :, None]
     G2 = U @ U.transpose(0, 2, 1)
-    total = np.zeros(W.shape[0])
+    total = np.zeros(W.shape[0], dtype=W.dtype)
     count = 0
     for a in range(num_segments):
         for b in range(a + 1, num_segments):
@@ -545,15 +577,18 @@ def segment_autocorrelation_scores_multi(
         raise ValueError("streams and starts_per_stream must align")
     signs = list(pn_signs)
     num_segments = len(signs)
+    streams = [as_float_array(s) for s in streams]
+    dtype = (
+        np.result_type(*[s.dtype for s in streams]) if streams else np.float64
+    )
     counts = [len(starts) for starts in starts_per_stream]
     total = sum(counts)
     if total == 0:
-        return [np.zeros(0) for _ in counts]
+        return [np.zeros(0, dtype=dtype) for _ in counts]
     if not force_gemm and not _gemm_matches_dot(num_segments, symbol_len):
         needed = symbol_stride * num_segments
         out = []
         for stream, starts in zip(streams, starts_per_stream):
-            stream = np.asarray(stream, dtype=float)
             out.append(
                 np.array(
                     [
@@ -568,12 +603,11 @@ def segment_autocorrelation_scores_multi(
                 )
             )
         return out
-    W = np.empty((total, num_segments, symbol_len))
+    W = np.empty((total, num_segments, symbol_len), dtype=dtype)
     pos = 0
     for stream, starts in zip(streams, starts_per_stream):
         if not len(starts):
             continue
-        stream = np.asarray(stream, dtype=float)
         _gather_windows(
             stream,
             starts,

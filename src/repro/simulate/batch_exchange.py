@@ -42,6 +42,7 @@ from repro.channel.noise import (
 from repro.channel.occlusion import occlusion_gain_array
 from repro.channel.render import CachedWaveform, apply_channel_batch, fir_length_for
 from repro.signals.batchcorr import env_int, fft_workers
+from repro.signals.xp import PRECISIONS, get_context
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
     RangingMeasurement,
@@ -201,9 +202,16 @@ class BatchExchangeRenderer:
     DESIGN.md §7 for the equivalence contract.
     """
 
-    def __init__(self, preamble: Preamble, fast: bool = False):
+    def __init__(
+        self,
+        preamble: Preamble,
+        fast: bool = False,
+        precision: str = "float64",
+    ):
         self.preamble = preamble
         self.fast = bool(fast)
+        self._ctx = get_context(precision)
+        self.precision = self._ctx.precision
         self.fs = float(preamble.config.ofdm.sample_rate)
         self._plans: List[_TrialPlan] = []
         self._waves: Dict[float, CachedWaveform] = {}
@@ -286,7 +294,12 @@ class BatchExchangeRenderer:
             # min(output_length, fir_length_for) truncation.
             fir_length = min(body_length, fir_length_for(max_delay, fs))
             if self.fast:
-                spike = spiky_noise(stream_length, env.noise, self._noise_rng, fs)
+                # Cast the spike row to the working dtype at plan time:
+                # the draw itself stays float64 (substream contract),
+                # and Phase B's in-place adds then never upcast.
+                spike = spiky_noise(
+                    stream_length, env.noise, self._noise_rng, fs
+                ).astype(self._ctx.real_dtype, copy=False)
                 white = hw = None
             else:
                 white = rng.standard_normal(stream_length)
@@ -319,7 +332,9 @@ class BatchExchangeRenderer:
     def _cached_wave(self, scale: float) -> CachedWaveform:
         wave = self._waves.get(scale)
         if wave is None:
-            wave = CachedWaveform(scale * self.preamble.waveform)
+            wave = CachedWaveform(
+                scale * self.preamble.waveform, dtype=self._ctx.real_dtype
+            )
             self._waves[scale] = wave
         return wave
 
@@ -338,11 +353,17 @@ class BatchExchangeRenderer:
         point, on the producer thread — pins the substream's
         consumption order to the sequential schedule bit for bit.
         Parity mode draws nothing in Phase B and returns ``None``.
+        The draw dtype follows the working precision — it must match
+        what :func:`synth_noise_rows` would draw for itself, or the
+        pipelined and sequential schedules would consume the substream
+        differently.
         """
         if not self.fast or not plans:
             return None
         lengths = [m.stream_length for plan in plans for m in plan.mics]
-        return self._noise_rng.standard_normal(synth_noise_shape(lengths))
+        return self._noise_rng.standard_normal(
+            synth_noise_shape(lengths), dtype=self._ctx.real_dtype
+        )
 
     def render(self) -> List[Reception]:
         """Phase B: render every planned exchange, then clear the plan list."""
@@ -404,6 +425,7 @@ class BatchExchangeRenderer:
                 self.fs,
                 workers=workers,
                 z=noise_block,
+                precision=self.precision,
             )
         else:
             # Ambient noise: one batched causal filter over all rows.
@@ -500,6 +522,7 @@ class BatchOneWay:
         chunk: int = 24,
         backend: str = "batch",
         pipeline: Optional[int] = None,
+        precision: str = "float64",
     ):
         from repro.ranging.batch import BatchArrivalEstimator
 
@@ -507,12 +530,27 @@ class BatchOneWay:
             raise ValueError(
                 f"unknown waveform backend {backend!r} (use 'batch' or 'fast')"
             )
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r} "
+                f"(choose from {', '.join(PRECISIONS)})"
+            )
+        if precision != "float64" and backend != "fast":
+            raise ValueError(
+                f"backend {backend!r} does not support precision {precision!r} "
+                f"(supported: float64)"
+            )
         self.preamble = preamble
         self.backend = backend
+        self.precision = precision
         self.chunk = int(chunk)
         self.pipeline = pipeline_depth() if pipeline is None else max(0, int(pipeline))
-        self.renderer = BatchExchangeRenderer(preamble, fast=backend == "fast")
-        self.estimator = BatchArrivalEstimator(preamble, fast=backend == "fast")
+        self.renderer = BatchExchangeRenderer(
+            preamble, fast=backend == "fast", precision=precision
+        )
+        self.estimator = BatchArrivalEstimator(
+            preamble, fast=backend == "fast", precision=precision
+        )
         self._flusher = PipelinedFlusher(self.pipeline) if self.pipeline else None
         self._pending: List[Future] = []
         self._meta: List[_OneWayMeta] = []

@@ -36,7 +36,17 @@ class TestCheckBackend:
 
     def test_waveform_figures_declare_all_backends(self):
         for name in ("fig11", "fig12", "fig13", "fig14", "fig15", "fig22"):
-            assert engine.get_spec(name).backends == engine.WAVEFORM_BACKENDS
+            assert engine.get_spec(name).backends == tuple(engine.WAVEFORM_BACKENDS)
+
+    def test_precision_pairs_validated(self):
+        assert engine.check_backend("fast", precision="float32") == "fast"
+        assert engine.check_backend("batch", precision="float64") == "batch"
+        with pytest.raises(ValueError, match="does not support precision"):
+            engine.check_backend("batch", precision="float32")
+        with pytest.raises(ValueError, match="does not support precision"):
+            engine.check_backend("legacy", precision="float32")
+        with pytest.raises(ValueError, match="unknown precision"):
+            engine.check_backend("fast", precision="float16")
 
     def test_register_rejects_unknown_capability(self):
         with pytest.raises(ValueError, match="unknown backend capability"):
@@ -67,6 +77,18 @@ class TestRunnerCliBackend:
         # fig11 supports fast but the tables do not: the campaign must
         # be rejected up front rather than half-executed.
         assert main(["fig11", "tables", "--backend", "fast"]) == 2
+
+    def test_float32_on_batch_backend_exits_2(self, capsys):
+        assert main(["fig11", "--backend", "batch", "--precision", "float32"]) == 2
+        assert "does not support precision" in capsys.readouterr().out
+
+    def test_precision_without_backend_exits_2(self, capsys):
+        assert main(["fig11", "--precision", "float32"]) == 2
+        assert "requires --backend" in capsys.readouterr().out
+
+    def test_unknown_precision_exits_2(self, capsys):
+        assert main(["fig11", "--backend", "fast", "--precision", "half"]) == 2
+        assert "unknown precision" in capsys.readouterr().out
 
 
 class TestArtifactProvenance:
@@ -101,22 +123,60 @@ class TestArtifactProvenance:
         )
         assert code == 0
         doc = json.loads(path.read_text())
-        assert doc["provenance"] == {"trial_chunks": 3, "backend": "fast"}
+        assert doc["provenance"] == {
+            "trial_chunks": 3,
+            "backend": "fast",
+            "precision": None,
+        }
         assert doc["experiments"][0]["status"] == "ok"
 
     def test_default_provenance_is_unchunked_no_backend(self, tmp_path):
         path = tmp_path / "default.json"
         assert main(["fig22", "--scale", "0.5", "--json", str(path)]) == 0
         doc = json.loads(path.read_text())
-        assert doc["provenance"] == {"trial_chunks": 1, "backend": None}
+        assert doc["provenance"] == {
+            "trial_chunks": 1,
+            "backend": None,
+            "precision": None,
+        }
         # No campaign-level backend: the entry ran on its own default.
         assert "backend" not in doc["experiments"][0]["params"]
+
+    def test_float32_precision_recorded(self, tmp_path):
+        path = tmp_path / "f32.json"
+        code = main(
+            [
+                "fig22",
+                "--backend",
+                "fast",
+                "--precision",
+                "float32",
+                "--scale",
+                "0.5",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-campaign/2"
+        assert doc["provenance"]["backend"] == "fast"
+        assert doc["provenance"]["precision"] == "float32"
+        entry = doc["experiments"][0]
+        assert entry["status"] == "ok"
+        assert entry["params"]["precision"] == "float32"
 
 
 class TestBatchOneWayDispatch:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown waveform backend"):
             BatchOneWay(make_preamble(), backend="legacy")
+
+    def test_float32_requires_fast_backend(self):
+        with pytest.raises(ValueError, match="does not support precision"):
+            BatchOneWay(make_preamble(), backend="batch", precision="float32")
+        with pytest.raises(ValueError, match="unknown precision"):
+            BatchOneWay(make_preamble(), backend="fast", precision="half")
 
     def test_entry_level_unknown_backend_errors_in_campaign(self):
         # An in-entry backend error surfaces as a failed result, not a

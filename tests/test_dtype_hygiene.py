@@ -1,0 +1,176 @@
+"""Dtype hygiene of the float32 kernel tier.
+
+NumPy's promotion rules make single precision leak silently: one
+float64 operand anywhere in a chain (a default-dtype template, a
+noise row, an un-cast FFT) upcasts everything downstream and the
+"float32 pipeline" quietly runs — and allocates — at double width.
+These hypothesis properties drive random shapes, levels and stream
+dtypes through every batched kernel and assert the working precision
+survives end to end: float32 in, float32/complex64 out, never
+float64 by accident.  (The reverse direction — float64 staying
+float64 bit-for-bit — is pinned by tests/test_batch_parity.py.)
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.environment import DOCK
+from repro.channel.noise import synth_noise_rows
+from repro.channel.render import CachedWaveform, apply_channel_batch
+from repro.ranging.batch import (
+    channel_impulse_response_batch,
+    detect_preamble_batch,
+    ls_channel_estimate_batch,
+)
+from repro.signals.batchcorr import (
+    CachedTemplate,
+    normalized_cross_correlation_fused,
+    segment_autocorrelation_scores_multi,
+)
+from repro.signals.preamble import make_preamble
+from repro.simulate.batch_exchange import BatchExchangeRenderer
+from repro.simulate.waveform_sim import ExchangeConfig
+
+WORKING = {
+    "float64": (np.float64, np.complex128),
+    "float32": (np.float32, np.complex64),
+}
+
+#: Stream dtypes a caller might feed in; the template/context dtype,
+#: not the stream dtype, must decide the working precision.
+STREAM_DTYPES = st.sampled_from([np.float32, np.float64])
+
+
+@given(
+    precision=st.sampled_from(["float64", "float32"]),
+    lengths=st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=4),
+    ambient=st.floats(min_value=1e-4, max_value=0.5),
+    hw=st.floats(min_value=1e-5, max_value=0.1),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_synth_noise_rows_dtype_follows_precision(
+    precision, lengths, ambient, hw, seed
+):
+    real, _ = WORKING[precision]
+    rows = synth_noise_rows(
+        lengths,
+        [ambient] * len(lengths),
+        [hw] * len(lengths),
+        np.random.default_rng(seed),
+        precision=precision,
+    )
+    assert rows.dtype == real
+    assert rows.shape == (len(lengths), max(lengths))
+    assert np.all(np.isfinite(rows))
+
+
+@given(
+    precision=st.sampled_from(["float64", "float32"]),
+    stream_dtype=STREAM_DTYPES,
+    tmpl_len=st.integers(min_value=2, max_value=48),
+    stream_lens=st.lists(
+        st.integers(min_value=2, max_value=600), min_size=1, max_size=4
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_fused_ncc_output_follows_template_dtype(
+    precision, stream_dtype, tmpl_len, stream_lens, seed
+):
+    real, _ = WORKING[precision]
+    rng = np.random.default_rng(seed)
+    template = CachedTemplate(
+        rng.standard_normal(tmpl_len) + 0.1, dtype=real
+    )
+    streams = [
+        rng.standard_normal(n).astype(stream_dtype) for n in stream_lens
+    ]
+    for corr, n in zip(
+        normalized_cross_correlation_fused(streams, template), stream_lens
+    ):
+        assert corr.dtype == real
+        assert corr.size == n
+        assert np.all(np.abs(corr) <= 1.0)
+
+
+@given(
+    precision=st.sampled_from(["float64", "float32"]),
+    wave_len=st.integers(min_value=8, max_value=256),
+    num_taps=st.integers(min_value=1, max_value=5),
+    fir_len=st.integers(min_value=1, max_value=64),
+    shared=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_channel_render_keeps_cached_waveform_dtype(
+    precision, wave_len, num_taps, fir_len, shared, seed
+):
+    real, _ = WORKING[precision]
+    rng = np.random.default_rng(seed)
+    cached = CachedWaveform(rng.standard_normal(wave_len), dtype=real)
+    delays = np.sort(rng.uniform(0.0, fir_len - 1, size=num_taps))
+    amps = rng.uniform(0.1, 1.0, size=num_taps)
+    rows = apply_channel_batch(
+        cached,
+        [(delays, amps)],
+        [fir_len],
+        [wave_len + fir_len],
+        shared_length=shared,
+    )
+    assert rows[0].dtype == real
+    assert np.all(np.isfinite(rows[0]))
+
+
+@given(
+    precision=st.sampled_from(["float64", "float32"]),
+    rows=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_channel_estimate_chain_keeps_precision(precision, rows, seed):
+    real, cplx = WORKING[precision]
+    preamble = make_preamble()
+    rng = np.random.default_rng(seed)
+    streams = [
+        (preamble.waveform + 0.01 * rng.standard_normal(preamble.waveform.size))
+        .astype(real)
+        for _ in range(rows)
+    ]
+    h = ls_channel_estimate_batch(streams, preamble, [0] * rows)
+    assert h.dtype == cplx
+    cir = channel_impulse_response_batch(h, preamble.config.ofdm)
+    assert cir.dtype == real
+    assert np.all(np.isfinite(cir))
+
+
+def test_detection_pipeline_never_upcasts_float32():
+    """End to end: float32 rendered exchanges stay float32 through the
+    fused NCC, the GEMM candidate gate and the detector."""
+    preamble = make_preamble()
+    config = ExchangeConfig(environment=DOCK)
+    rng = np.random.default_rng(3)
+    renderer = BatchExchangeRenderer(preamble, fast=True, precision="float32")
+    for _ in range(3):
+        renderer.add(
+            [0.0, 0.0, 2.0],
+            [10.0 + rng.uniform(0, 5), 0.0, 2.0],
+            config,
+            rng,
+        )
+    rendered = renderer.render()
+    streams = [r.mic1 for r in rendered] + [r.mic2 for r in rendered]
+    assert all(s.dtype == np.float32 for s in streams)
+    template = CachedTemplate(preamble.waveform, dtype=np.float32)
+    cfg = preamble.config
+    scores = segment_autocorrelation_scores_multi(
+        streams,
+        [[0]] * len(streams),
+        cfg.pn_signs,
+        cfg.symbol_stride,
+        cfg.ofdm.n_fft,
+        force_gemm=True,
+    )
+    assert all(s.dtype == np.float32 for s in scores)
+    detections = detect_preamble_batch(streams, preamble, template=template, fast=True)
+    assert all(d is not None for d in detections)

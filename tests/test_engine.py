@@ -155,7 +155,11 @@ class TestArtifacts:
         doc = campaign_to_dict(results, base_seed=3)
         assert doc["schema"] == "repro-campaign/2"
         assert doc["base_seed"] == 3
-        assert doc["provenance"] == {"trial_chunks": 1, "backend": None}
+        assert doc["provenance"] == {
+            "trial_chunks": 1,
+            "backend": None,
+            "precision": None,
+        }
         assert [e["experiment"] for e in doc["experiments"]] == CHEAP
         for entry in doc["experiments"]:
             assert entry["status"] == "ok"

@@ -6,19 +6,28 @@ bit-wise: on every seed, each figure's measured metrics must land
 within the pre-registered tolerances of
 ``repro.experiments.fast_contract`` relative to the ``batch`` reference
 (which stays bit-identical to legacy — tests/test_batch_parity.py).
+The float32 tier (``backend="fast", precision="float32"``) is gated
+against the same float64 batch reference through the ``"float32"``
+tolerance table.
 
 Also pins the fast backend's own reproducibility guarantees: identical
 artifacts for identical seeds regardless of worker count, and the
 dedicated noise substream never perturbing the main stream's geometry
-draws.
+draws — at both precisions.
 """
+
+from functools import lru_cache
 
 import numpy as np
 import pytest
 
 from repro.channel.environment import DOCK
 from repro.experiments import engine
-from repro.experiments.fast_contract import TOLERANCES, compare_measured
+from repro.experiments.fast_contract import (
+    FAST_FIGURES,
+    TOLERANCES,
+    compare_measured,
+)
 from repro.signals.preamble import make_preamble
 from repro.simulate.batch_exchange import BatchOneWay
 from repro.simulate.waveform_sim import ExchangeConfig
@@ -37,27 +46,55 @@ SCALES = {
 SEEDS = (101, 202, 303)
 
 
-def _measured(name: str, backend: str, seed: int):
+def _measured(name: str, backend: str, seed: int, precision: str = "float64"):
     entry = engine.get_spec(name).resolve_entry()
     rng = engine.experiment_rng(name, base_seed=seed)
-    return entry(rng, scale=SCALES[name], backend=backend).measured
+    return entry(
+        rng, scale=SCALES[name], backend=backend, precision=precision
+    ).measured
 
 
-@pytest.mark.parametrize("name", sorted(TOLERANCES))
+@lru_cache(maxsize=None)
+def _batch_reference(name: str, seed: int):
+    """The float64 batch reference, shared across both precision gates."""
+    return _measured(name, "batch", seed)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FIGURES))
 def test_fast_within_registered_tolerances(name):
     """Fast metrics match the batch reference on every seed."""
     for seed in SEEDS:
-        reference = _measured(name, "batch", seed)
+        reference = _batch_reference(name, seed)
         candidate = _measured(name, "fast", seed)
         violations = compare_measured(name, reference, candidate)
         assert not violations, f"seed {seed}: " + "; ".join(violations)
 
 
+@pytest.mark.parametrize("name", sorted(FAST_FIGURES))
+def test_fast_float32_within_registered_tolerances(name):
+    """Float32 fast metrics hold the float32 contract on every seed."""
+    for seed in SEEDS:
+        reference = _batch_reference(name, seed)
+        candidate = _measured(name, "fast", seed, precision="float32")
+        violations = compare_measured(
+            name, reference, candidate, precision="float32"
+        )
+        assert not violations, f"seed {seed}: " + "; ".join(violations)
+
+
 def test_contract_covers_all_fast_figures():
-    """Every experiment declaring the fast backend has tolerances."""
+    """Every experiment declaring the fast backend has tolerances in
+    every precision table, and the tables gate the same figures."""
+    for table in TOLERANCES.values():
+        assert tuple(table) == FAST_FIGURES
     for name, spec in engine.registry().items():
         if "fast" in spec.backends:
-            assert name in TOLERANCES, f"{name} supports fast but has no contract"
+            assert name in FAST_FIGURES, f"{name} supports fast but has no contract"
+
+
+def test_compare_measured_rejects_unknown_precision():
+    with pytest.raises(KeyError, match="float16"):
+        compare_measured("fig11", {}, {}, precision="float16")
 
 
 def test_contract_detects_structure_and_value_breaks():
@@ -78,21 +115,23 @@ def test_contract_detects_structure_and_value_breaks():
     assert compare_measured("fig11", reference, nan_break)
 
 
-def test_fast_backend_deterministic_per_seed():
+@pytest.mark.parametrize("precision", ("float64", "float32"))
+def test_fast_backend_deterministic_per_seed(precision):
     """Same seed, same fast-mode measurements — run to run."""
-    a = _measured("fig14", "fast", 11)
-    b = _measured("fig14", "fast", 11)
+    a = _measured("fig14", "fast", 11, precision=precision)
+    b = _measured("fig14", "fast", 11, precision=precision)
     assert a == b
 
 
-def test_fast_noise_substream_keeps_geometry_draws_on_main_stream():
+@pytest.mark.parametrize("precision", ("float64", "float32"))
+def test_fast_noise_substream_keeps_geometry_draws_on_main_stream(precision):
     """The fast renderer draws noise off-stream: after one add(), the
     main generator has consumed exactly the sound-speed normal and the
     fluctuation-seed integer (the legacy/batch geometry prefix)."""
     preamble = make_preamble()
     config = ExchangeConfig(environment=DOCK)
     rng = np.random.default_rng(5)
-    sim = BatchOneWay(preamble, backend="fast")
+    sim = BatchOneWay(preamble, backend="fast", precision=precision)
     sim.add([0.0, 0.0, 2.0], [15.0, 0.0, 2.0], config, rng)
 
     ref = np.random.default_rng(5)
@@ -102,7 +141,8 @@ def test_fast_noise_substream_keeps_geometry_draws_on_main_stream():
     assert rng.standard_normal() == ref.standard_normal()
 
 
-def test_fast_campaign_artifact_worker_independent(tmp_path):
+@pytest.mark.parametrize("precision", (None, "float32"))
+def test_fast_campaign_artifact_worker_independent(tmp_path, precision):
     """Chunked fast campaigns are byte-identical serial vs parallel."""
     docs = []
     for workers in (1, 2):
@@ -113,10 +153,15 @@ def test_fast_campaign_artifact_worker_independent(tmp_path):
             scale=0.08,
             trial_chunks=2,
             backend="fast",
+            precision=precision,
         )
         docs.append(
             engine.campaign_to_json(
-                results, base_seed=17, trial_chunks=2, backend="fast"
+                results,
+                base_seed=17,
+                trial_chunks=2,
+                backend="fast",
+                precision=precision,
             )
         )
     assert docs[0] == docs[1]

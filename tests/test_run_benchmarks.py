@@ -72,19 +72,24 @@ def test_bench_figure_captures_backend_exception(bench_module, monkeypatch):
     assert "speedup" not in timings
 
 
-def test_healthy_figure_times_all_three_backends(bench_module):
+def test_healthy_figure_times_all_backends_and_precisions(bench_module):
     timings = bench_module.bench_figure("fig22", 0.5)
     assert set(timings) == {
         "legacy",
         "batch",
         "fast",
+        "fast_float32",
         "batch_sequential",
         "speedup",
         "speedup_fast",
+        "speedup_float32",
         "speedup_pipeline",
+        "contract_float32",
     }
     assert timings["speedup"] > 0 and timings["speedup_fast"] > 0
-    assert timings["speedup_pipeline"] > 0
+    assert timings["speedup_pipeline"] > 0 and timings["speedup_float32"] > 0
+    # The float32 run is gated against this run's own batch metrics.
+    assert timings["contract_float32"] == []
 
 
 def test_regression_gate_flags_errored_figure(check_module):
@@ -186,6 +191,67 @@ def test_regression_gate_fails_on_ungated_new_figure(check_module):
     current["figures"]["fig99"] = {"error": "boom"}
     violations = check_module.check(baseline, current, allow_new_figures=True)
     assert any("fig99" in v and "errored" in v for v in violations)
+
+
+def _float32_figures(speedups):
+    return {
+        "figures": {
+            name: {
+                "legacy": 1.0,
+                "batch": 0.6,
+                "speedup": 1.7,
+                "speedup_float32": s,
+            }
+            for name, s in speedups.items()
+        }
+    }
+
+
+def test_regression_gate_float32_counts_heavy_figures(check_module):
+    baseline = _float32_figures({})
+    healthy = _float32_figures(
+        {"fig11": 1.5, "fig12": 1.4, "fig13": 1.35, "fig14": 1.2, "fig15": 1.45}
+    )
+    assert check_module.check(baseline, healthy, allow_new_figures=True) == []
+    # Only two of five clear the floor: the tier regressed.
+    slow = _float32_figures(
+        {"fig11": 1.5, "fig12": 1.1, "fig13": 1.0, "fig14": 1.2, "fig15": 1.45}
+    )
+    violations = check_module.check(baseline, slow, allow_new_figures=True)
+    assert any("float32" in v and "need 3" in v for v in violations)
+    # Artifacts that predate the precision column are not float32-gated.
+    old = {"figures": {"fig11": {"legacy": 1.0, "batch": 0.6, "speedup": 1.7}}}
+    assert check_module.check(baseline, old, allow_new_figures=True) == []
+
+
+def test_contract_violations_fail_even_with_skip_env(
+    check_module, tmp_path, capsys, monkeypatch
+):
+    """A float32 statistical-contract break is a correctness failure:
+    BENCH_REGRESSION_SKIP=1 silences perf noise, never wrong metrics."""
+    doc = _float32_figures(
+        {"fig11": 1.5, "fig12": 1.4, "fig13": 1.35, "fig14": 1.2, "fig15": 1.45}
+    )
+    baseline = tmp_path / "base.json"
+    current = tmp_path / "cur.json"
+    baseline.write_text(json.dumps(doc))
+    doc["figures"]["fig11"]["contract_float32"] = [
+        "fig11.median_by_distance.10: |0.4 - 9.8| = 9.4 > 0.75"
+    ]
+    current.write_text(json.dumps(doc))
+    argv = ["--baseline", str(baseline), "--current", str(current)]
+    monkeypatch.setenv("BENCH_REGRESSION_SKIP", "1")
+    assert check_module.main(argv) == 1
+    out = capsys.readouterr().out
+    assert "correctness" in out
+    # Without the contract rows the same env var downgrades the gate.
+    doc["figures"]["fig11"]["contract_float32"] = []
+    doc["figures"]["fig12"]["speedup_float32"] = 0.5
+    doc["figures"]["fig13"]["speedup_float32"] = 0.5
+    doc["figures"]["fig14"]["speedup_float32"] = 0.5
+    current.write_text(json.dumps(doc))
+    assert check_module.main(argv) == 0
+    assert "reporting only" in capsys.readouterr().out
 
 
 def test_regression_gate_allow_new_figures_cli_flag(check_module, tmp_path, capsys):

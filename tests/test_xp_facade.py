@@ -1,0 +1,117 @@
+"""The array-namespace / precision facade (repro.signals.xp).
+
+Pins the three guarantees the kernels build on:
+
+* the float64 numpy context binds exactly the functions the kernels
+  historically called (scipy.fft rfft/irfft/next_fast_len, np.fft
+  fft/ifft) — routing through the facade must not move parity bits;
+* the float32 context keeps single precision through every transform;
+* the ``REPRO_ARRAY_BACKEND`` knob parses defensively: unknown or
+  uninstalled namespaces warn once and fall back to numpy.
+"""
+
+import importlib.util
+import warnings
+
+import numpy as np
+import pytest
+import scipy.fft as sp_fft
+
+from repro.signals import xp
+
+
+def test_precisions_reference_tier_first():
+    assert xp.PRECISIONS == ("float64", "float32")
+    assert xp.DEFAULT_PRECISION == "float64"
+
+
+def test_unknown_precision_rejected():
+    with pytest.raises(ValueError, match="unknown precision 'float16'"):
+        xp.get_context("float16")
+
+
+def test_contexts_cached_per_pair():
+    assert xp.get_context("float64") is xp.get_context("float64")
+    assert xp.get_context("float32") is xp.get_context("float32")
+    assert xp.get_context("float64") is not xp.get_context("float32")
+
+
+def test_float64_context_binds_historic_functions():
+    ctx = xp.get_context("float64")
+    assert ctx.xp is np
+    assert ctx.rfft is sp_fft.rfft
+    assert ctx.irfft is sp_fft.irfft
+    assert ctx.next_fast_len is sp_fft.next_fast_len
+    assert ctx.fft is np.fft.fft
+    assert ctx.ifft is np.fft.ifft
+    assert ctx.real_dtype == np.float64
+    assert ctx.complex_dtype == np.complex128
+    assert not ctx.is_single
+
+
+def test_float32_context_preserves_single_precision():
+    ctx = xp.get_context("float32")
+    x = np.ones(16, dtype=np.float32)
+    spec = ctx.rfft(x, 16)
+    assert spec.dtype == np.complex64
+    assert ctx.irfft(spec, 16).dtype == np.float32
+    assert ctx.fft(x)[0].dtype == np.complex64
+    assert ctx.is_single
+    assert ctx.asreal([1, 2, 3]).dtype == np.float32
+
+
+def test_precision_of():
+    assert xp.precision_of(np.float32) == "float32"
+    assert xp.precision_of(np.complex64) == "float32"
+    assert xp.precision_of(np.float64) == "float64"
+    assert xp.precision_of(np.complex128) == "float64"
+    assert xp.precision_of(np.int64) == "float64"
+
+
+def test_as_float_array_preserves_working_dtypes():
+    single = np.ones(4, dtype=np.float32)
+    double = np.ones(4, dtype=np.float64)
+    assert xp.as_float_array(single) is single
+    assert xp.as_float_array(double) is double
+    assert xp.as_float_array([1, 2]).dtype == np.float64
+    assert xp.as_float_array(np.ones(4, dtype=np.int32)).dtype == np.float64
+
+
+def test_as_complex_array_pairs_real_and_complex_widths():
+    c64 = np.ones(4, dtype=np.complex64)
+    assert xp.as_complex_array(c64) is c64
+    assert xp.as_complex_array(np.ones(4, dtype=np.float32)).dtype == np.complex64
+    assert xp.as_complex_array(np.ones(4)).dtype == np.complex128
+    assert xp.as_complex_array([1, 2]).dtype == np.complex128
+
+
+def test_resolve_namespace_defaults_to_numpy(monkeypatch):
+    monkeypatch.delenv("REPRO_ARRAY_BACKEND", raising=False)
+    assert xp.resolve_namespace() is np
+
+
+def test_env_knob_unknown_backend_warns_once(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_BACKEND", "mlx")
+    monkeypatch.setattr(xp, "_ENV_WARNED", set())
+    with pytest.warns(RuntimeWarning, match="not a known array backend"):
+        assert xp.resolve_namespace() is np
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert xp.resolve_namespace() is np  # second parse is silent
+
+
+def test_env_knob_uninstalled_backend_falls_back(monkeypatch):
+    if importlib.util.find_spec("cupy") is not None:
+        pytest.skip("cupy installed; fallback path not reachable")
+    monkeypatch.setenv("REPRO_ARRAY_BACKEND", "cupy")
+    monkeypatch.setattr(xp, "_ENV_WARNED", set())
+    with pytest.warns(RuntimeWarning, match="not installed"):
+        assert xp.resolve_namespace() is np
+
+
+def test_explicit_namespace_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_BACKEND", "definitely-not-a-backend")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert xp.resolve_namespace("numpy") is np
+        assert xp.get_context("float32", namespace="numpy").xp is np
