@@ -1,0 +1,114 @@
+"""CI summarizer/gate over the invariant analyzer's JSON report.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis --check --format json \
+        > analysis.json || true
+    python benchmarks/check_analysis.py --input analysis.json \
+        [--summary "$GITHUB_STEP_SUMMARY"]
+
+Renders a per-rule markdown table (scanned files, new findings,
+baselined exceptions, pragma suppressions, stale baseline entries) and
+re-derives the ``--check`` verdict from the artifact: exit 1 when the
+report carries new findings, stale baseline entries, or parse errors;
+exit 0 otherwise.  Splitting the run from the gate this way lets the CI
+job always publish the table — the analyzer's exit code alone would
+skip the summary exactly when someone needs to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Dict, List
+
+
+def _count_by_rule(rows: List[Dict]) -> Counter:
+    return Counter(str(row.get("rule", "?")) for row in rows)
+
+
+def summarize(report: Dict) -> str:
+    """Markdown summary of one ``repro-analysis-report/1`` document."""
+    findings = report.get("findings", [])
+    baselined = report.get("baselined", [])
+    suppressed = report.get("suppressed", [])
+    stale = report.get("stale_baseline", [])
+    parse_errors = report.get("parse_errors", [])
+
+    new_by_rule = _count_by_rule(findings)
+    base_by_rule = _count_by_rule(baselined)
+    supp_by_rule = _count_by_rule(suppressed)
+    rules = sorted(set(report.get("rules", [])) | set(new_by_rule) | set(supp_by_rule))
+
+    lines = ["## Invariant lint", ""]
+    verdict = "clean" if not (findings or stale or parse_errors) else "FAILING"
+    lines.append(
+        f"**{verdict}** — {report.get('files_scanned', '?')} files, "
+        f"{len(findings)} new finding(s), {len(baselined)} baselined, "
+        f"{len(suppressed)} pragma-suppressed, {len(stale)} stale baseline entr(ies)."
+    )
+    lines.append("")
+    lines.append("| rule | new | baselined | suppressed |")
+    lines.append("| --- | ---: | ---: | ---: |")
+    for rule in rules:
+        lines.append(
+            f"| {rule} | {new_by_rule.get(rule, 0)} | "
+            f"{base_by_rule.get(rule, 0)} | {supp_by_rule.get(rule, 0)} |"
+        )
+    if findings:
+        lines.append("")
+        lines.append("### New findings")
+        for row in findings:
+            lines.append(
+                f"- `{row.get('path')}:{row.get('line')}` **{row.get('rule')}** "
+                f"{row.get('message')}"
+            )
+    if stale:
+        lines.append("")
+        lines.append("### Stale baseline entries (remove them)")
+        for row in stale:
+            lines.append(
+                f"- `{row.get('path')}:{row.get('line')}` {row.get('rule')} "
+                f"`{row.get('snippet')}`"
+            )
+    if parse_errors:
+        lines.append("")
+        lines.append("### Parse errors")
+        for err in parse_errors:
+            lines.append(f"- {err}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--input", required=True, help="analyzer --format json output")
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="file to append the markdown summary to (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.input, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != "repro-analysis-report/1":
+        print(f"error: unexpected report schema {schema!r}", file=sys.stderr)
+        return 2
+
+    text = summarize(report)
+    print(text)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write(text)
+
+    failing = bool(
+        report.get("findings") or report.get("stale_baseline") or report.get("parse_errors")
+    )
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

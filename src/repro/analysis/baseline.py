@@ -1,0 +1,133 @@
+"""Committed JSON baseline: grandfathered findings + drift detection.
+
+The baseline is the escape hatch that lets the analyzer gate *new*
+violations from day one without requiring every pre-existing finding to
+be fixed in the same change.  It is a committed JSON file listing
+accepted findings; at check time
+
+* a current finding with a matching baseline entry is *baselined* (not
+  a failure),
+* a current finding with no entry is *new* (fails the gate),
+* a baseline entry matching no current finding is *stale* — the code it
+  grandfathered is gone, so ``--check`` fails until the entry is removed
+  (the same missing-rows polarity as ``benchmarks/check_regression.py``:
+  a gate whose exceptions outlive their causes stops being a gate).
+
+Matching is by ``(rule, path, snippet)`` — the stripped source line —
+not line numbers, so unrelated edits above a grandfathered site do not
+churn the baseline.  Duplicate identical lines in one file are handled
+as a multiset (N entries cover N findings).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
+
+#: Default committed location, alongside the parity-epoch baselines.
+DEFAULT_BASELINE_RELPATH = Path("tests") / "baselines" / "analysis_baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _key(rule: str, path: str, snippet: str) -> _Key:
+    return (rule, path, " ".join(snippet.split()))
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    line: int
+    snippet: str
+
+    @property
+    def key(self) -> _Key:
+        return _key(self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of diffing current findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    def __init__(self, entries: List[BaselineEntry]):
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: unexpected baseline schema {doc.get('schema')!r} "
+                f"(want {BASELINE_SCHEMA})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(e["rule"]),
+                path=str(e["path"]),
+                line=int(e.get("line", 0)),
+                snippet=str(e.get("snippet", "")),
+            )
+            for e in doc.get("findings", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(rule=f.rule, path=f.path, line=f.line, snippet=f.snippet)
+                for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "findings": [
+                e.to_dict()
+                for e in sorted(self.entries, key=lambda e: (e.path, e.line, e.rule))
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    def match(self, findings: List[Finding]) -> BaselineMatch:
+        budget: Counter = Counter(e.key for e in self.entries)
+        result = BaselineMatch()
+        for finding in findings:
+            key = _key(finding.rule, finding.path, finding.snippet)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        for entry in self.entries:
+            if budget.get(entry.key, 0) > 0:
+                budget[entry.key] -= 1
+                result.stale.append(entry)
+        return result

@@ -1,0 +1,100 @@
+"""Import-alias resolution: local names → canonical dotted paths.
+
+The rules reason about *canonical* call targets — ``numpy.fft.fft``,
+``numpy.random.default_rng``, ``os.environ`` — but source code reaches
+them through whatever aliases its imports introduced (``np.fft.fft``,
+``from numpy.random import default_rng as rng_new``, ``from scipy
+import fft as sp_fft``).  :class:`ImportMap` walks a module's import
+statements once and then resolves any ``Name`` / ``Attribute`` chain to
+its canonical dotted form, so each rule is one string comparison instead
+of N alias special cases.
+
+Only module-level *static* resolution is attempted: names rebound at
+runtime (``fft = pick_backend()``) resolve to nothing, which fails open
+— rules simply do not flag what they cannot prove.  That is the right
+polarity for a lint gate whose findings must be individually actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ImportMap:
+    """Alias table built from a module's import statements."""
+
+    #: local binding → canonical dotted path ("np" → "numpy",
+    #: "sp_fft" → "scipy.fft", "rfft" → "scipy.fft.rfft").
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import scipy.fft`` binds "scipy"; the canonical
+                    # target of the binding is the top package unless an
+                    # asname pins the full dotted path.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports stay repo-internal
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{module}.{alias.name}" if module else alias.name
+        return cls(aliases=aliases)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a ``Name``/``Attribute`` chain, or None."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolves_into(self, node: ast.AST, prefix: str) -> Optional[str]:
+        """Resolve ``node``; return the path only if it is ``prefix`` or under it."""
+        dotted = self.resolve(node)
+        if dotted is None:
+            return None
+        if dotted == prefix or dotted.startswith(prefix + "."):
+            return dotted
+        return None
+
+
+def import_targets(node: ast.AST) -> Dict[str, str]:
+    """Canonical paths named by one import statement (for import-site rules).
+
+    Returns ``local name → canonical path`` for ``Import`` /
+    ``ImportFrom`` nodes and ``{}`` for anything else.  Unlike
+    :meth:`ImportMap.from_tree` this reports what the *statement* pulls
+    in (``import scipy.fft`` → ``scipy.fft``), not what the binding
+    resolves to, so a rule can flag the import itself.
+    """
+    out: Dict[str, str] = {}
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            out[alias.asname or alias.name.split(".")[0]] = alias.name
+    elif isinstance(node, ast.ImportFrom) and not node.level:
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            out[local] = f"{module}.{alias.name}" if module else alias.name
+    return out

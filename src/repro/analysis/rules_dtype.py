@@ -1,0 +1,117 @@
+"""DTYPE001 — dtype hygiene in the float32-tier kernel modules.
+
+DESIGN.md §11: kernels take their working dtypes from an
+``ArrayContext`` and never upcast.  A hardcoded ``dtype=float``,
+``astype(float)``, ``np.float64(...)`` construction, or a dtype string
+literal silently promotes the float32 tier back to double — the result
+is still *correct*, so nothing fails; the tier just quietly loses the
+speedup it was calibrated for (and mixed-dtype arithmetic can change
+float32-contract bits from machine to machine).
+
+The rule only runs in the kernel modules that participate in the
+float32 tier.  Deliberate float64 pins exist there — the main-stream
+*geometry* draws stay float64 by contract even on the float32 tier —
+and carry ``# repro: allow[DTYPE001] ...`` pragmas naming that reason.
+Allowed without a pragma: ``dtype=`` values sourced from a context or
+variable (``ctx.real_dtype``, ``self.dtype``), since those are exactly
+the facade's moving parts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register_rule
+
+#: The float32-tier kernel modules (DESIGN.md §11 dtype-hygiene sweep).
+_KERNEL_MODULES = {
+    "repro.signals.batchcorr",
+    "repro.channel.render",
+    "repro.channel.noise",
+    "repro.ranging.batch",
+    "repro.simulate.batch_exchange",
+    "repro.experiments.fig22_snr",
+}
+
+#: Fixed-width numpy constructors/dtypes that pin a precision tier.
+_PINNED_NUMPY_DTYPES = {
+    "numpy.float64",
+    "numpy.float32",
+    "numpy.float16",
+    "numpy.complex128",
+    "numpy.complex64",
+    "numpy.longdouble",
+}
+
+_BUILTIN_DTYPE_NAMES = {"float", "complex"}
+
+
+@register_rule
+class DtypeHygieneRule(Rule):
+    id = "DTYPE001"
+    contract = (
+        "Kernel dtypes come from an ArrayContext (ctx.real_dtype / "
+        "ctx.complex_dtype); literal dtypes silently upcast the float32 tier "
+        "(DESIGN.md §11)."
+    )
+    hint = (
+        "source the dtype from the ArrayContext (ctx.real_dtype / "
+        "ctx.complex_dtype) or use xp.as_float_array for input coercion"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module in _KERNEL_MODULES
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # x.astype(float) / x.astype(np.float64) / x.astype("float64")
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                target = node.args[0] if node.args else None
+                described = self._literal_dtype(ctx, target)
+                if described is not None:
+                    findings.append(
+                        ctx.finding(self, node, f"astype({described}) pins the dtype")
+                    )
+            # bare np.float64(...) / np.complex128(...) constructions
+            dotted = ctx.imports.resolve(node.func)
+            if dotted in _PINNED_NUMPY_DTYPES:
+                findings.append(
+                    ctx.finding(self, node, f"bare {dotted}(...) construction")
+                )
+            # dtype= keyword carrying a literal instead of a context dtype
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                described = self._literal_dtype(ctx, keyword.value)
+                if described is not None:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"dtype={described} literal not sourced from an "
+                            "ArrayContext",
+                        )
+                    )
+        return findings
+
+    def _literal_dtype(self, ctx: ModuleContext, node: Optional[ast.AST]) -> Optional[str]:
+        """Describe ``node`` if it is a hardcoded dtype, else None.
+
+        Attribute/Name values that do not resolve to numpy (``ctx.
+        real_dtype``, ``self.dtype``, a local variable) are the facade's
+        sanctioned currency and pass.
+        """
+        if node is None:
+            return None
+        if isinstance(node, ast.Name) and node.id in _BUILTIN_DTYPE_NAMES:
+            return node.id
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return repr(node.value)
+        dotted = ctx.imports.resolve(node)
+        if dotted in _PINNED_NUMPY_DTYPES:
+            return dotted
+        return None

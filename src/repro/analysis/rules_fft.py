@@ -1,0 +1,70 @@
+"""XP001 — FFT bindings must route through the ``repro.signals.xp`` facade.
+
+DESIGN.md §11: every kernel takes its FFT functions (and dtypes) from a
+resolved :class:`~repro.signals.xp.ArrayContext`.  The float64 numpy
+context binds exactly the historic ``scipy.fft`` / ``np.fft`` functions,
+so going through the facade is free on the parity path — but a direct
+``np.fft.fft(...)`` call silently pins the numpy CPU backend and, on the
+float32 tier, the wrong precision promotion.  The only module allowed to
+name ``scipy.fft`` / ``numpy.fft`` is the facade itself.
+
+Both the import statements and the resolved call sites are flagged: the
+import is where the dependency enters, the calls are where the fix lands.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register_rule
+from repro.analysis.names import import_targets
+
+#: Canonical module prefixes of the raw FFT namespaces.
+_FFT_NAMESPACES = ("numpy.fft", "scipy.fft")
+
+#: The facade module: the single sanctioned home for raw FFT bindings.
+_FACADE_MODULE = "repro.signals.xp"
+
+
+def _names_fft_namespace(dotted: str) -> bool:
+    return any(
+        dotted == prefix or dotted.startswith(prefix + ".") for prefix in _FFT_NAMESPACES
+    )
+
+
+@register_rule
+class FftFacadeRule(Rule):
+    id = "XP001"
+    contract = (
+        "FFT bindings come from repro.signals.xp.ArrayContext; only the facade "
+        "may name scipy.fft / numpy.fft (DESIGN.md §11)."
+    )
+    hint = (
+        "bind ctx = repro.signals.xp.get_context(...) and call "
+        "ctx.fft/ifft/rfft/irfft/rfftfreq/next_fast_len"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module != _FACADE_MODULE
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for _local, target in sorted(import_targets(node).items()):
+                    if _names_fft_namespace(target):
+                        findings.append(
+                            ctx.finding(
+                                self, node, f"import of {target} bypasses the xp facade"
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = ctx.imports.resolve(node.func)
+                if dotted is not None and _names_fft_namespace(dotted):
+                    findings.append(
+                        ctx.finding(
+                            self, node, f"direct call of {dotted} bypasses the xp facade"
+                        )
+                    )
+        return findings

@@ -1,0 +1,194 @@
+"""RNG001 / RNG002 — the SeedSequence-substream randomness contracts.
+
+RNG001 (provenance): every generator in ``src/repro`` must descend from
+a ``SeedSequence`` substream (DESIGN.md §6).  The legacy module-level
+``np.random.*`` API draws from one hidden global stream — results then
+depend on import order and whatever ran before — and a *seedless*
+``default_rng()`` pulls OS entropy, so two runs can never agree.  A
+seeded ``default_rng(seed)`` is fine: that is exactly how substreams are
+materialised.
+
+RNG002 (draw order): the pipelined executor (DESIGN.md §8) overlaps
+chunk N's Phase-B render with chunk N+1's Phase-A planning.  That is
+only byte-identical because *every* RNG draw happens in Phase A on the
+producer thread: ``BatchExchangeRenderer.add`` (and ``spawn_substream``)
+advance the main stream, ``draw_noise_block`` pre-draws the noise
+substream at the exact flush point.  A draw added anywhere else in
+``simulate.batch_exchange`` or in the worker-pool plumbing
+(``experiments.pool``) would interleave with in-flight chunks and shear
+the stream order — so outside the sanctioned sites, no method that
+advances a generator may be called at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    qualname_stack,
+    register_rule,
+)
+
+#: Module-level numpy.random functions that use the hidden global stream
+#: (or reseed it).  ``Generator`` / ``SeedSequence`` / ``default_rng``
+#: are the sanctioned, explicitly-seeded surface and are not listed.
+_LEGACY_GLOBAL_API = {
+    "beta",
+    "binomial",
+    "bytes",
+    "chisquare",
+    "choice",
+    "dirichlet",
+    "exponential",
+    "gamma",
+    "geometric",
+    "get_state",
+    "gumbel",
+    "laplace",
+    "logistic",
+    "lognormal",
+    "multinomial",
+    "multivariate_normal",
+    "normal",
+    "pareto",
+    "permutation",
+    "poisson",
+    "rand",
+    "randint",
+    "randn",
+    "random",
+    "random_integers",
+    "random_sample",
+    "ranf",
+    "rayleigh",
+    "sample",
+    "seed",
+    "set_state",
+    "shuffle",
+    "standard_cauchy",
+    "standard_exponential",
+    "standard_gamma",
+    "standard_normal",
+    "standard_t",
+    "triangular",
+    "uniform",
+    "vonmises",
+    "wald",
+    "weibull",
+    "zipf",
+    "RandomState",
+}
+
+#: Generator methods that advance stream state.  Used by RNG002 to spot
+#: draws outside the sanctioned Phase-A sites.
+_DRAW_METHODS = {
+    "normal",
+    "standard_normal",
+    "uniform",
+    "random",
+    "integers",
+    "choice",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "exponential",
+    "poisson",
+    "binomial",
+    "bytes",
+}
+
+#: module → qualnames where draws are part of the Phase-A contract.
+_SANCTIONED_DRAW_SITES = {
+    "repro.simulate.batch_exchange": {
+        "spawn_substream",
+        "BatchExchangeRenderer.add",
+        "BatchExchangeRenderer.draw_noise_block",
+    },
+    "repro.experiments.pool": set(),
+}
+
+
+@register_rule
+class LegacyRandomApiRule(Rule):
+    id = "RNG001"
+    contract = (
+        "All randomness flows from SeedSequence substreams; the legacy global "
+        "np.random API and seedless default_rng() are forbidden (DESIGN.md §6)."
+    )
+    hint = "draw from a Generator spawned off the experiment's SeedSequence substream"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolves_into(node.func, "numpy.random")
+            if dotted is None:
+                continue
+            tail = dotted[len("numpy.random.") :] if dotted != "numpy.random" else ""
+            if tail in _LEGACY_GLOBAL_API:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"legacy global-stream API numpy.random.{tail}",
+                    )
+                )
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "seedless default_rng() draws OS entropy — results are "
+                        "unreproducible",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class DrawOrderRule(Rule):
+    id = "RNG002"
+    contract = (
+        "In pipelined modules every RNG draw happens in Phase A "
+        "(BatchExchangeRenderer.add / draw_noise_block / spawn_substream); "
+        "Phase-B/consumer code must be RNG-free (DESIGN.md §8)."
+    )
+    hint = (
+        "move the draw into Phase A (renderer.add / draw_noise_block) or "
+        "pre-draw it on the producer thread before the flush hand-off"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module in _SANCTIONED_DRAW_SITES
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        sanctioned = _SANCTIONED_DRAW_SITES[ctx.module]
+        quals = qualname_stack(ctx.tree)
+        findings: List[Finding] = []
+
+        def scan(node: ast.AST, qual: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_qual = quals.get(child, qual)
+                if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+                    method = child.func.attr
+                    receiver = ast.unparse(child.func.value)
+                    if method in _DRAW_METHODS and "rng" in receiver.lower():
+                        if child_qual not in sanctioned:
+                            where = child_qual or "<module>"
+                            findings.append(
+                                ctx.finding(
+                                    self,
+                                    child,
+                                    f"RNG draw {receiver}.{method}() in {where} — "
+                                    "outside the sanctioned Phase-A sites",
+                                )
+                            )
+                scan(child, child_qual)
+
+        scan(ctx.tree, "")
+        return findings

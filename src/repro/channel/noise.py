@@ -17,6 +17,7 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
+from repro.signals.xp import get_context
 
 
 @dataclass(frozen=True)
@@ -143,7 +144,9 @@ def _band_gain_shape(num_samples: int, sample_rate: float) -> np.ndarray:
     (interior rfft bins count twice, DC — and Nyquist for even sizes —
     once).
     """
-    freqs = np.fft.rfftfreq(num_samples, 1.0 / sample_rate)
+    # The bin grid is a float64 design artefact (it feeds sosfreqz), so
+    # the parity-pinned float64 numpy context supplies the binding.
+    freqs = get_context("float64", namespace="numpy").rfftfreq(num_samples, 1.0 / sample_rate)
     _, h = sp_signal.sosfreqz(
         _bandpass_sos_design(sample_rate), worN=freqs, fs=sample_rate
     )
@@ -167,13 +170,11 @@ def synth_noise_shape(lengths) -> tuple:
     substream where a sequential flush would have drawn it, before
     handing the RNG-free shaping to a consumer thread.
     """
-    from scipy.fft import next_fast_len
-
     lengths = [int(n) for n in lengths]
     rows = len(lengths)
     if rows == 0 or max(lengths) <= 0:
         return (rows, 0, 2)
-    nf = next_fast_len(max(lengths), True)
+    nf = get_context().next_fast_len(max(lengths), True)
     return (rows, nf // 2 + 1, 2)
 
 
@@ -221,8 +222,6 @@ def synth_noise_rows(
     consume the substream identically (``z`` pre-drawing must use the
     same dtype) — and float64 keeps its historic draw bits.
     """
-    from repro.signals.xp import get_context
-
     ctx = get_context(precision)
     lengths = [int(n) for n in lengths]
     rows = len(lengths)
@@ -233,8 +232,8 @@ def synth_noise_rows(
         return np.zeros((rows, 0), dtype=ctx.real_dtype)
     nf = ctx.next_fast_len(n, True)
     gain = _band_gain_shape(nf, float(sample_rate))
-    amb = np.asarray(ambient_rms, dtype=float).reshape(rows)
-    hw = np.asarray(hw_rms, dtype=float).reshape(rows)
+    amb = np.asarray(ambient_rms, dtype=float).reshape(rows)  # repro: allow[DTYPE001] f64 level mix
+    hw = np.asarray(hw_rms, dtype=float).reshape(rows)  # repro: allow[DTYPE001] f64 level mix
     # Most batches carry very few distinct (ambient, hw) level pairs
     # (one per microphone model); compute each amplitude row once.
     levels: dict = {}

@@ -13,7 +13,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 from scipy import signal as sp_signal
-from scipy.fft import next_fast_len
 
 from repro.channel.multipath import PathTap
 from repro.signals.xp import get_context, precision_of
@@ -109,8 +108,8 @@ def render_taps_positions(
     tap exactly as the loop does.  ``out`` (length >= ``length``,
     pre-zeroed) lets callers scatter straight into a batch slab row.
     """
-    positions = np.asarray(positions, dtype=float)
-    amplitudes = np.asarray(amplitudes, dtype=float)
+    positions = np.asarray(positions, dtype=float)  # repro: allow[DTYPE001] FIR source is float64
+    amplitudes = np.asarray(amplitudes, dtype=float)  # repro: allow[DTYPE001] FIR source is float64
     n = int(length)
     fir = np.zeros(n) if out is None else out
     if positions.size == 0:
@@ -223,7 +222,7 @@ def apply_channel_batch(
         n_fir = int(fir_lengths[idx])
         if isinstance(row, tuple):
             return render_taps_positions(row[0], row[1], n_fir)
-        return np.asarray(row, dtype=float)[:n_fir]
+        return np.asarray(row, dtype=float)[:n_fir]  # repro: allow[DTYPE001] FIR source is float64
 
     groups: Dict[int, List[int]] = {}
     fft_rows: List[int] = []
@@ -239,10 +238,10 @@ def apply_channel_batch(
             continue
         fft_rows.append(idx)
     if shared_length and fft_rows:
-        groups[next_fast_len(max(fulls[i] for i in fft_rows), True)] = fft_rows
+        groups[ctx.next_fast_len(max(fulls[i] for i in fft_rows), True)] = fft_rows
     else:
         for idx in fft_rows:
-            groups.setdefault(next_fast_len(fulls[idx], True), []).append(idx)
+            groups.setdefault(ctx.next_fast_len(fulls[idx], True), []).append(idx)
     for nf, rows in groups.items():
         stacked = np.zeros((len(rows), nf), dtype=cached.dtype)
         for k, idx in enumerate(rows):
@@ -310,7 +309,7 @@ def apply_channel(
     Pinned by ``tests/test_channel.py`` (output-length contract) and
     ``tests/test_batchcorr.py`` (long-FIR truncation equivalence).
     """
-    wave = np.asarray(waveform, dtype=float)
+    wave = np.asarray(waveform, dtype=float)  # repro: allow[DTYPE001] legacy parity path is float64
     if not taps:
         raise ValueError("taps must be non-empty")
     fir_length = fir_length_for(taps, sample_rate)

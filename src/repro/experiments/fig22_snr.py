@@ -66,7 +66,7 @@ def run_snr_measurement(
     ofdm = OfdmConfig()
     bins = band_bins(ofdm)
     base = ofdm_symbol_from_zc(ofdm, add_cp=False)
-    base_bins_fft = np.fft.fft(base)[bins].astype(ctx.complex_dtype, copy=False)
+    base_bins_fft = ctx.fft(base)[bins].astype(ctx.complex_dtype, copy=False)
     fs = ofdm.sample_rate
     sound_speed = BOATHOUSE.sound_speed(depth_m)
     # Continuous transmission of identical symbols; segment at symbol

@@ -34,9 +34,15 @@ import warnings
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
-from scipy.fft import next_fast_len, rfft, irfft
 
 from repro.signals.xp import as_float_array, get_context, precision_of
+
+#: Parity-tier FFT bindings.  The batch backend is pinned to float64
+#: numpy bits regardless of ``REPRO_ARRAY_BACKEND``, and the float64
+#: numpy context binds exactly the historic ``scipy.fft``
+#: rfft/irfft/next_fast_len — so routing through the facade here is a
+#: pure aliasing change (parity epoch 2 baselines unaffected).
+_PARITY_CTX = get_context("float64", namespace="numpy")
 
 #: (variable, value) pairs already warned about, so a long campaign
 #: complains once per bad setting instead of once per chunk flush.
@@ -70,6 +76,17 @@ def env_int(name: str, default: int, minimum: int = 0) -> int:
         return default
 
 
+def env_str(name: str) -> Optional[str]:
+    """Raw string value of an execution-knob environment variable.
+
+    The sanctioned choke point for knob *lookup* (ENV001): callers that
+    need to inspect the raw text (e.g. ``REPRO_PIPELINE_DEPTH=off``)
+    read it here instead of touching ``os.environ`` themselves, keeping
+    every environment read inside the audited helper modules.
+    """
+    return os.environ.get(name)
+
+
 def fft_workers() -> int:
     """Worker count for multi-threaded stacked transforms (fast mode).
 
@@ -100,14 +117,14 @@ def shared_fast_len(full_sizes: Sequence[int]) -> int:
     convolution cannot alias it, so each row's first ``full`` samples
     still hold that row's exact linear convolution.
     """
-    return next_fast_len(int(max(full_sizes)), True)
+    return _PARITY_CTX.next_fast_len(int(max(full_sizes)), True)
 
 
 def grouped_by_fast_len(full_sizes: Sequence[int]) -> Dict[int, List[int]]:
     """Group row indices by the fast FFT length of their conv size."""
     groups: Dict[int, List[int]] = {}
     for idx, full in enumerate(full_sizes):
-        nf = next_fast_len(int(full), True)
+        nf = _PARITY_CTX.next_fast_len(int(full), True)
         groups.setdefault(nf, []).append(idx)
     return groups
 
@@ -136,7 +153,8 @@ class CachedTemplate:
         self.dtype = template.dtype
         self._ctx = get_context(precision_of(template.dtype))
         self.size = template.size
-        self.norm = float(np.linalg.norm(np.asarray(template, dtype=np.float64)))
+        tmpl64 = np.asarray(template, dtype=np.float64)  # repro: allow[DTYPE001] norm stays f64
+        self.norm = float(np.linalg.norm(tmpl64))
         self._reversed = template[::-1].copy()
         self._rev_fft: Dict[int, np.ndarray] = {}
         self._window_fft: Dict[int, np.ndarray] = {}
@@ -174,7 +192,7 @@ def _grouped_rows(
 ) -> Dict[int, List[int]]:
     groups: Dict[int, List[int]] = {}
     for idx in rows:
-        nf = next_fast_len(streams[idx].size + template_size - 1, True)
+        nf = _PARITY_CTX.next_fast_len(streams[idx].size + template_size - 1, True)
         groups.setdefault(nf, []).append(idx)
     return groups
 
@@ -189,7 +207,7 @@ def cross_correlate_batch(
     template spectrum is reused across the whole batch.
     """
     tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
-    streams = [np.asarray(s, dtype=float) for s in streams]
+    streams = [np.asarray(s, dtype=float) for s in streams]  # repro: allow[DTYPE001] parity is f64
     for s in streams:
         if s.size == 0:
             raise ValueError("stream and template must be non-empty")
@@ -205,7 +223,8 @@ def cross_correlate_batch(
             fft_rows.append(idx)
     for nf, rows in _grouped_rows(streams, fft_rows, tmpl.size).items():
         stacked = _stack_padded(streams, rows, nf)
-        corr = irfft(rfft(stacked, nf, axis=-1) * tmpl.reversed_fft(nf), nf, axis=-1)
+        spec = _PARITY_CTX.rfft(stacked, nf, axis=-1)
+        corr = _PARITY_CTX.irfft(spec * tmpl.reversed_fft(nf), nf, axis=-1)
         for k, idx in enumerate(rows):
             n = streams[idx].size
             full = n + tmpl.size - 1
@@ -218,7 +237,7 @@ def normalized_cross_correlation_batch(
 ) -> List[np.ndarray]:
     """Batched :func:`repro.signals.correlation.normalized_cross_correlation`."""
     tmpl = template if isinstance(template, CachedTemplate) else CachedTemplate(template)
-    streams = [np.asarray(s, dtype=float) for s in streams]
+    streams = [np.asarray(s, dtype=float) for s in streams]  # repro: allow[DTYPE001] parity is f64
     for s in streams:
         if s.size == 0:
             raise ValueError("stream and template must be non-empty")
@@ -245,11 +264,12 @@ def normalized_cross_correlation_batch(
             fft_rows.append(idx)
     for nf, rows in _grouped_rows(streams, fft_rows, tmpl.size).items():
         stacked = _stack_padded(streams, rows, nf)
-        spec = rfft(stacked, nf, axis=-1)
+        spec = _PARITY_CTX.rfft(stacked, nf, axis=-1)
         spec *= tmpl.reversed_fft(nf)
-        corr = irfft(spec, nf, axis=-1)
+        corr = _PARITY_CTX.irfft(spec, nf, axis=-1)
         np.square(stacked, out=stacked)
-        energy = irfft(rfft(stacked, nf, axis=-1) * tmpl.window_fft(nf), nf, axis=-1)
+        sq_spec = _PARITY_CTX.rfft(stacked, nf, axis=-1)
+        energy = _PARITY_CTX.irfft(sq_spec * tmpl.window_fft(nf), nf, axis=-1)
         for k, idx in enumerate(rows):
             n = streams[idx].size
             _finish(idx, corr[k, start : start + n], energy[k, start : start + n])
@@ -320,7 +340,7 @@ def normalized_cross_correlation_fused(
     spec *= tmpl.reversed_fft(nf)
     corr = ctx.irfft(spec, nf, axis=-1, workers=w)
     np.square(stacked, out=stacked)
-    cum = np.cumsum(stacked, axis=-1, dtype=np.float64)
+    cum = np.cumsum(stacked, axis=-1, dtype=np.float64)  # repro: allow[DTYPE001] f64 accumulator
     for k, idx in enumerate(fft_rows):
         n = streams[idx].size
         # Windowed energy of the L samples ending at full-conv index
@@ -403,7 +423,7 @@ def segment_autocorrelation_fast(
     remaining reductions are the very same ``np.dot`` / element-wise
     division calls the scalar reference issues, in the same order.
     """
-    window = np.asarray(window, dtype=float)
+    window = np.asarray(window, dtype=float)  # repro: allow[DTYPE001] parity is f64
     signs = list(pn_signs)
     num = len(signs)
     needed = symbol_stride * num
@@ -433,7 +453,7 @@ def segment_autocorrelation_many(
     windows: np.ndarray, pn_signs, symbol_stride: int, symbol_len: int
 ) -> np.ndarray:
     """Scores for a ``(batch, window_len)`` stack of candidate windows."""
-    windows = np.asarray(windows, dtype=float)
+    windows = np.asarray(windows, dtype=float)  # repro: allow[DTYPE001] parity is f64
     if windows.ndim != 2:
         raise ValueError("expected a 2-D (batch, window) array")
     return np.array(
@@ -634,7 +654,7 @@ def sliding_autocorrelation_batch(
     symbol_len: int,
 ) -> np.ndarray:
     """Batched :func:`repro.signals.correlation.sliding_autocorrelation`."""
-    stream = np.asarray(stream, dtype=float)
+    stream = np.asarray(stream, dtype=float)  # repro: allow[DTYPE001] parity is f64
     signs = list(pn_signs)
     needed = symbol_stride * len(signs)
     scores = np.zeros(len(candidates))

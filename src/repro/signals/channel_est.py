@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.signals.ofdm import OfdmConfig, band_bins
 from repro.signals.preamble import Preamble
+from repro.signals.xp import get_context
 
 
 def ls_channel_estimate(
@@ -52,7 +53,7 @@ def ls_channel_estimate(
         if sym_start < 0 or sym_start + n_fft > stream.size:
             continue
         symbol = stream[sym_start : sym_start + n_fft]
-        spectrum = np.fft.fft(symbol)
+        spectrum = get_context().fft(symbol)
         accum += spectrum[bins] / (sign * preamble.base_bins)
         count += 1
     if count == 0:
@@ -89,7 +90,7 @@ def channel_impulse_response(
     spectrum = np.zeros(ofdm.n_fft, dtype=complex)
     spectrum[bins] = h
     spectrum[-bins] = np.conj(h)
-    cir = np.abs(np.fft.ifft(spectrum))
+    cir = np.abs(get_context().ifft(spectrum))
     if normalize:
         peak = cir.max()
         if peak > 0:

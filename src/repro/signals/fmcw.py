@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
 from repro.signals.chirp import linear_chirp
+from repro.signals.xp import get_context
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ def dechirp(received: np.ndarray, config: FmcwConfig) -> np.ndarray:
     if rx.size < n:
         raise ValueError(f"received window too short: {rx.size} < {n}")
     mixed = rx[:n] * ref
-    spectrum = np.abs(np.fft.rfft(mixed * np.hanning(n)))
+    spectrum = np.abs(get_context().rfft(mixed * np.hanning(n)))
     return spectrum
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.constants import BAND_HIGH_HZ, BAND_LOW_HZ, SAMPLE_RATE
 from repro.errors import DecodingError
+from repro.signals.xp import get_context
 
 
 def _bin_center_hz(device_id: int, group_size: int, band_low: float, band_high: float) -> float:
@@ -75,8 +76,9 @@ def decode_device_id(
         raise ValueError("samples too short")
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
-    spectrum = np.abs(np.fft.rfft(x * np.hanning(x.size))) ** 2
-    freqs = np.fft.rfftfreq(x.size, d=1.0 / sample_rate)
+    ctx = get_context()
+    spectrum = np.abs(ctx.rfft(x * np.hanning(x.size))) ** 2
+    freqs = ctx.rfftfreq(x.size, d=1.0 / sample_rate)
     width = (band_high_hz - band_low_hz) / group_size
     energies = np.zeros(group_size)
     for dev in range(group_size):

@@ -20,6 +20,7 @@ from repro.constants import (
     OFDM_SYMBOL_LEN,
     SAMPLE_RATE,
 )
+from repro.signals.xp import get_context
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,7 @@ def modulate_symbol(config: OfdmConfig, bin_values: np.ndarray, add_cp: bool = T
     spectrum[bins] = values
     # Hermitian symmetry so the IFFT is real valued.
     spectrum[-bins] = np.conj(values)
-    waveform = np.fft.ifft(spectrum).real
+    waveform = get_context().ifft(spectrum).real
     peak = np.max(np.abs(waveform))
     if peak > 0:
         waveform = waveform / peak
@@ -133,5 +134,5 @@ def demodulate_symbol(config: OfdmConfig, samples: np.ndarray) -> np.ndarray:
     x = np.asarray(samples, dtype=float)
     if x.size != config.n_fft:
         raise ValueError(f"expected {config.n_fft} samples, got {x.size}")
-    spectrum = np.fft.fft(x)
+    spectrum = get_context().fft(x)
     return spectrum[band_bins(config)]

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.constants import PREAMBLE_PN_SIGNS
 from repro.signals.ofdm import OfdmConfig, band_bins, ofdm_symbol_from_zc
+from repro.signals.xp import get_context
 from repro.signals.zc import zadoff_chu
 
 
@@ -114,7 +115,7 @@ def make_preamble(config: PreambleConfig | None = None) -> Preamble:
     zc = zadoff_chu(len(bins), root=cfg.zc_root)
     # The time-domain symbol was peak-normalised; scale the reference bins
     # identically so the LS estimator sees a consistent X.
-    spectrum = np.fft.fft(base_no_cp)
+    spectrum = get_context().fft(base_no_cp)
     base_bins = spectrum[bins]
     # Guard against numerically tiny bins (should not occur for ZC).
     if np.min(np.abs(base_bins)) <= 0:

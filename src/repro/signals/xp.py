@@ -151,6 +151,7 @@ class ArrayContext:
     fft: Callable[..., Any]
     ifft: Callable[..., Any]
     next_fast_len: Callable[..., int]
+    rfftfreq: Callable[..., Any]
 
     @property
     def is_single(self) -> bool:
@@ -209,6 +210,7 @@ def _build_context(name: str, precision: str) -> ArrayContext:
                 fft=np.fft.fft,
                 ifft=np.fft.ifft,
                 next_fast_len=_sp_fft.next_fast_len,
+                rfftfreq=np.fft.rfftfreq,
             )
         return ArrayContext(
             name=name,
@@ -221,6 +223,7 @@ def _build_context(name: str, precision: str) -> ArrayContext:
             fft=_sp_fft.fft,
             ifft=_sp_fft.ifft,
             next_fast_len=_sp_fft.next_fast_len,
+            rfftfreq=np.fft.rfftfreq,
         )
     if name == "cupy":
         import cupy
@@ -237,6 +240,7 @@ def _build_context(name: str, precision: str) -> ArrayContext:
             fft=_drop_workers(cufft.fft),
             ifft=_drop_workers(cufft.ifft),
             next_fast_len=_sp_fft.next_fast_len,
+            rfftfreq=cupy.fft.rfftfreq,
         )
     if name == "torch":
         import torch
@@ -249,6 +253,7 @@ def _build_context(name: str, precision: str) -> ArrayContext:
             real_dtype=real,
             complex_dtype=cplx,
             next_fast_len=_sp_fft.next_fast_len,
+            rfftfreq=torch.fft.rfftfreq,
             **bindings,
         )
     raise ValueError(f"unknown array namespace {name!r}")

@@ -13,6 +13,8 @@ import math
 
 import numpy as np
 
+from repro.signals.xp import get_context
+
 
 def zadoff_chu(length: int, root: int = 1, shift: int = 0) -> np.ndarray:
     """Generate a Zadoff-Chu sequence of the given ``length``.
@@ -59,8 +61,9 @@ def cyclic_autocorrelation(sequence: np.ndarray) -> np.ndarray:
     """
     seq = np.asarray(sequence)
     n = len(seq)
-    spectrum = np.fft.fft(seq)
-    corr = np.fft.ifft(spectrum * np.conj(spectrum))
+    ctx = get_context()
+    spectrum = ctx.fft(seq)
+    corr = ctx.ifft(spectrum * np.conj(spectrum))
     mag = np.abs(corr)
     peak = mag[0]
     if peak == 0:

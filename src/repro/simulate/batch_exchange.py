@@ -23,7 +23,6 @@ trial (see ``tests/test_batch_parity.py``).
 
 from __future__ import annotations
 
-import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -41,7 +40,7 @@ from repro.channel.noise import (
 )
 from repro.channel.occlusion import occlusion_gain_array
 from repro.channel.render import CachedWaveform, apply_channel_batch, fir_length_for
-from repro.signals.batchcorr import env_int, fft_workers
+from repro.signals.batchcorr import env_int, env_str, fft_workers
 from repro.signals.xp import PRECISIONS, get_context
 from repro.simulate.waveform_sim import (
     ExchangeConfig,
@@ -70,7 +69,7 @@ def pipeline_depth() -> int:
     (see DESIGN.md §8).  Unparsable values warn once and use the
     default.
     """
-    raw = os.environ.get("REPRO_PIPELINE_DEPTH")
+    raw = env_str("REPRO_PIPELINE_DEPTH")
     if raw is not None and raw.strip().lower() in ("off", "none", "false"):
         return 0
     return env_int("REPRO_PIPELINE_DEPTH", DEFAULT_PIPELINE_DEPTH, minimum=0)
@@ -232,8 +231,8 @@ class BatchExchangeRenderer:
         fs = self.fs
         if self.fast and self._noise_rng is None:
             self._noise_rng = spawn_substream(rng)
-        tx = np.asarray(tx_pos, dtype=float)
-        rx = np.asarray(rx_pos, dtype=float)
+        tx = np.asarray(tx_pos, dtype=float)  # repro: allow[DTYPE001] geometry is float64 (§11)
+        rx = np.asarray(rx_pos, dtype=float)  # repro: allow[DTYPE001] geometry is float64 (§11)
         nominal_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
         sound_speed = nominal_speed * (
             1.0 + rng.normal(0.0, config.sound_speed_error_std)
@@ -558,8 +557,8 @@ class BatchOneWay:
 
     def add(self, tx_pos, rx_pos, config: ExchangeConfig, rng: np.random.Generator) -> None:
         env = config.environment
-        tx = np.asarray(tx_pos, dtype=float)
-        rx = np.asarray(rx_pos, dtype=float)
+        tx = np.asarray(tx_pos, dtype=float)  # repro: allow[DTYPE001] geometry is float64 (§11)
+        rx = np.asarray(rx_pos, dtype=float)  # repro: allow[DTYPE001] geometry is float64 (§11)
         sound_speed = env.sound_speed(float((tx[2] + rx[2]) / 2))
         self.renderer.add(tx, rx, config, rng)
         true_distance = float(np.linalg.norm(rx - tx))
